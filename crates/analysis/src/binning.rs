@@ -1,0 +1,160 @@
+//! Binning utilities used across the figure modules.
+//!
+//! The paper buckets samples constantly — speed bins, timezone bins,
+//! technology bins, 500 ms windows, hs5G-fraction bins. These helpers keep
+//! that logic in one tested place.
+
+use std::collections::BTreeMap;
+
+/// Group values by a key function, preserving key order.
+pub fn group_by<T, K: Ord, V>(
+    items: impl IntoIterator<Item = T>,
+    mut key: impl FnMut(&T) -> K,
+    mut value: impl FnMut(T) -> V,
+) -> BTreeMap<K, Vec<V>> {
+    let mut out: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for item in items {
+        let k = key(&item);
+        out.entry(k).or_default().push(value(item));
+    }
+    out
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `n` bins; values outside the
+/// range clamp into the first/last bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; n],
+        }
+    }
+
+    /// Index of the bin a value falls into (clamped).
+    pub fn bin_of(&self, v: f64) -> usize {
+        let n = self.counts.len();
+        let t = (v - self.lo) / (self.hi - self.lo);
+        ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, v: f64) {
+        let b = self.bin_of(v);
+        self.counts[b] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// (bin center, fraction) pairs.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let total = self.total().max(1) as f64;
+        let n = self.counts.len() as f64;
+        let w = (self.hi - self.lo) / n;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c as f64 / total))
+            .collect()
+    }
+}
+
+/// Split `[0, 1]`-valued observations into `n` equal fraction-bins and
+/// return each bin's mean of the paired metric — the aggregation behind
+/// Fig. 10-style "metric vs fraction" panels.
+pub fn fraction_bin_means(points: &[(f64, f64)], n: usize) -> Vec<(f64, Option<f64>)> {
+    assert!(n > 0);
+    let mut sums = vec![0.0f64; n];
+    let mut counts = vec![0u64; n];
+    for &(frac, v) in points {
+        let b = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        sums[b] += v;
+        counts[b] += 1;
+    }
+    (0..n)
+        .map(|i| {
+            let center = (i as f64 + 0.5) / n as f64;
+            let mean = (counts[i] > 0).then(|| sums[i] / counts[i] as f64);
+            (center, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_by_preserves_all_items() {
+        let grouped = group_by(0..10, |i| i % 3, |i| i);
+        assert_eq!(grouped.len(), 3);
+        let total: usize = grouped.values().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(grouped[&0], vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 42.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 3); // -1, 0, 1.9
+        assert_eq!(h.counts()[1], 1); // 2.0
+        assert_eq!(h.counts()[4], 3); // 9.99, 10, 42 (clamped)
+    }
+
+    #[test]
+    fn histogram_normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let s: f64 = h.normalized().iter().map(|(_, f)| f).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_bins_average_correctly() {
+        let pts = vec![(0.1, 10.0), (0.15, 20.0), (0.9, 100.0)];
+        let bins = fraction_bin_means(&pts, 2);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, Some(15.0));
+        assert_eq!(bins[1].1, Some(100.0));
+    }
+
+    #[test]
+    fn empty_fraction_bin_is_none() {
+        let bins = fraction_bin_means(&[(0.9, 5.0)], 4);
+        assert_eq!(bins[0].1, None);
+        assert_eq!(bins[3].1, Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Extension: the multi-connectivity what-if (§5.4 / §8 recommendation 2).
+//!
+//! For every instant where all three phones ran concurrent throughput
+//! tests, replay the three observed per-500 ms throughput series as path
+//! capacities under a [`MultipathFlow`] and ask: how much would an
+//! MPTCP-capable phone have gained over the best single operator?
+//!
+//! This is *not* a paper figure — it is the experiment the paper's
+//! conclusion calls for.
+
+use std::collections::HashMap;
+
+use wheels_netsim::mptcp::{MptcpMode, MultipathFlow};
+use wheels_ran::operator::Operator;
+use wheels_ran::Direction;
+use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+
+/// One concurrent triple replayed under multipath.
+#[derive(Debug, Clone, Copy)]
+pub struct TripleOutcome {
+    /// Best single-operator mean, Mbps.
+    pub best_single_mbps: f64,
+    /// Aggregate-mode multipath mean, Mbps.
+    pub aggregate_mbps: f64,
+    /// Best-path-mode multipath mean, Mbps.
+    pub bestpath_mbps: f64,
+}
+
+/// Extension results per direction.
+#[derive(Debug, Clone)]
+pub struct MultipathWhatIf {
+    /// (direction, per-triple outcomes).
+    pub per_dir: Vec<(Direction, Vec<TripleOutcome>)>,
+}
+
+/// Replay one concurrent triple. The recorded 500 ms throughputs act as
+/// the per-path capacity process.
+fn replay(records: [&TestRecord; 3]) -> Option<TripleOutcome> {
+    let series: Vec<Vec<f64>> = records
+        .iter()
+        .map(|r| r.tput_samples().collect::<Vec<f64>>())
+        .collect();
+    let n = series.iter().map(Vec::len).min()?;
+    if n < 20 {
+        return None;
+    }
+    let singles: Vec<f64> = series
+        .iter()
+        .map(|s| s.iter().take(n).sum::<f64>() / n as f64)
+        .collect();
+    let best_single = singles.iter().copied().fold(0.0, f64::max);
+
+    let rtts = [0.055, 0.06, 0.058];
+    let run = |mode: MptcpMode| {
+        let mut flow = MultipathFlow::new(3, mode);
+        let dt = 0.02;
+        let mut t = 0.0;
+        let total_s = n as f64 * 0.5;
+        while t < total_s {
+            let w = ((t / 0.5) as usize).min(n - 1);
+            let caps = [series[0][w], series[1][w], series[2][w]];
+            flow.tick(t, dt, &caps, &rtts);
+            t += dt;
+        }
+        wheels_netsim::bps_to_mbps(flow.total_delivered_bytes() / total_s)
+    };
+    Some(TripleOutcome {
+        best_single_mbps: best_single,
+        aggregate_mbps: run(MptcpMode::Aggregate),
+        bestpath_mbps: run(MptcpMode::BestPath),
+    })
+}
+
+/// Compute the what-if over all concurrent driving test triples.
+pub fn compute(db: &ConsolidatedDb) -> MultipathWhatIf {
+    let mut per_dir = Vec::new();
+    for dir in Direction::BOTH {
+        let kind = match dir {
+            Direction::Downlink => TestKind::ThroughputDl,
+            Direction::Uplink => TestKind::ThroughputUl,
+        };
+        let mut by_time: HashMap<i64, Vec<&TestRecord>> = HashMap::new();
+        for r in db.records.iter().filter(|r| !r.is_static && r.kind == kind) {
+            by_time.entry(r.start_s.round() as i64).or_default().push(r);
+        }
+        let mut outcomes = Vec::new();
+        for records in by_time.values() {
+            if records.len() != 3 {
+                continue;
+            }
+            let mut sorted: Vec<&TestRecord> = records.clone();
+            sorted.sort_by_key(|r| {
+                Operator::ALL
+                    .iter()
+                    .position(|&o| o == r.op)
+                    .expect("known operator")
+            });
+            if let Some(o) = replay([sorted[0], sorted[1], sorted[2]]) {
+                outcomes.push(o);
+            }
+        }
+        per_dir.push((dir, outcomes));
+    }
+    MultipathWhatIf { per_dir }
+}
+
+impl MultipathWhatIf {
+    /// Gain CDFs for one direction: (aggregate/best-single,
+    /// bestpath/best-single).
+    pub fn gains(&self, dir: Direction) -> (Ecdf, Ecdf) {
+        let outcomes = &self
+            .per_dir
+            .iter()
+            .find(|(d, _)| *d == dir)
+            .expect("both directions computed")
+            .1;
+        let agg = Ecdf::new(
+            outcomes
+                .iter()
+                .filter(|o| o.best_single_mbps > 0.5)
+                .map(|o| o.aggregate_mbps / o.best_single_mbps),
+        );
+        let best = Ecdf::new(
+            outcomes
+                .iter()
+                .filter(|o| o.best_single_mbps > 0.5)
+                .map(|o| o.bestpath_mbps / o.best_single_mbps),
+        );
+        (agg, best)
+    }
+
+    /// Render the extension figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Extension — MPTCP over three operators (gain vs best single)");
+        out.push('\n');
+        for (dir, outcomes) in &self.per_dir {
+            let (agg, best) = self.gains(*dir);
+            out.push_str(&format!("  {} ({} concurrent triples)\n", dir.label(), outcomes.len()));
+            out.push_str(&cdf_row("    aggregate gain x", &agg));
+            out.push('\n');
+            out.push_str(&cdf_row("    best-path gain x", &best));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db;
+
+    #[test]
+    fn aggregation_beats_best_single() {
+        // §5.4's thesis: diversity means aggregation pays.
+        let f = compute(network_db());
+        let (agg, _) = f.gains(Direction::Downlink);
+        assert!(agg.len() > 20, "only {} triples", agg.len());
+        assert!(
+            agg.median() > 1.15,
+            "aggregate median gain {}",
+            agg.median()
+        );
+    }
+
+    #[test]
+    fn bestpath_never_much_worse_than_single() {
+        let f = compute(network_db());
+        let (_, best) = f.gains(Direction::Downlink);
+        if best.len() > 20 {
+            // Switching lag costs something, but the scheduler must stay
+            // within a modest factor of the oracle single path.
+            assert!(best.median() > 0.45, "best-path median gain {}", best.median());
+        }
+    }
+
+    #[test]
+    fn uplink_triples_exist_too() {
+        let f = compute(network_db());
+        let (agg, _) = f.gains(Direction::Uplink);
+        assert!(agg.len() > 20);
+        assert!(agg.median() > 1.0);
+    }
+}

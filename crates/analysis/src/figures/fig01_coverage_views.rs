@@ -1,0 +1,112 @@
+//! Fig. 1: the two coverage-logging approaches disagree.
+//!
+//! The passive handover-logger (38-byte pings) sees mostly LTE/LTE-A; the
+//! XCAL logs during backlogged tests see real 5G coverage. §4.1's lesson:
+//! *"passive approaches that simply log the cellular network state in the
+//! absence of heavy traffic are not reliable."*
+
+use wheels_radio::band::Technology;
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::ConsolidatedDb;
+
+use super::{share_5g, tech_shares};
+use crate::render::share_bar;
+
+/// Distance-weighted technology shares, one entry per technology.
+pub type Shares = [(Technology, f64); 5];
+
+/// Per-operator comparison of the two coverage views.
+#[derive(Debug, Clone)]
+pub struct CoverageViews {
+    /// (operator, passive shares, active shares) per operator.
+    pub per_op: Vec<(Operator, Shares, Shares)>,
+}
+
+/// Compute both views for all operators.
+pub fn compute(db: &ConsolidatedDb) -> CoverageViews {
+    let per_op = Operator::ALL
+        .iter()
+        .map(|&op| {
+            let passive = db
+                .passive_for(op)
+                .map(|p| p.tech_shares())
+                .unwrap_or([(Technology::Lte, 0.0); 5]);
+            let active = tech_shares(
+                db.records
+                    .iter()
+                    .filter(|r| r.op == op && !r.is_static)
+                    .flat_map(|r| r.kpi.iter()),
+            );
+            (op, passive, active)
+        })
+        .collect();
+    CoverageViews { per_op }
+}
+
+impl CoverageViews {
+    /// 5G share seen passively vs actively for one operator.
+    pub fn gap_for(&self, op: Operator) -> Option<(f64, f64)> {
+        self.per_op
+            .iter()
+            .find(|(o, _, _)| *o == op)
+            .map(|(_, p, a)| (share_5g(p), share_5g(a)))
+    }
+
+    /// Render in the paper's per-operator layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Fig. 1 — coverage: passive handover-logger vs XCAL during tests\n",
+        );
+        for (op, passive, active) in &self.per_op {
+            let shares: Vec<(&str, f64)> =
+                passive.iter().map(|(t, f)| (t.label(), *f)).collect();
+            out.push_str(&share_bar(&format!("{op} passive"), &shares));
+            out.push('\n');
+            let shares: Vec<(&str, f64)> = active.iter().map(|(t, f)| (t.label(), *f)).collect();
+            out.push_str(&share_bar(&format!("{op} active"), &shares));
+            out.push('\n');
+            out.push_str(&format!(
+                "  -> 5G share: passive {:.1}% vs active {:.1}%\n",
+                share_5g(passive) * 100.0,
+                share_5g(active) * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db as small_db;
+
+    #[test]
+    fn passive_view_is_pessimistic() {
+        let db = small_db();
+        let v = compute(db);
+        for op in Operator::ALL {
+            let (passive, active) = v.gap_for(op).expect("all ops present");
+            assert!(
+                passive < active + 0.05,
+                "{op}: passive {passive} should be below active {active}"
+            );
+        }
+    }
+
+    #[test]
+    fn att_passive_essentially_4g_only() {
+        // Fig. 1d: AT&T's handover-logger saw only LTE/LTE-A.
+        let db = small_db();
+        let (passive, _) = compute(db).gap_for(Operator::Att).unwrap();
+        assert!(passive < 0.08, "AT&T passive 5G share {passive}");
+    }
+
+    #[test]
+    fn render_mentions_all_operators() {
+        let db = small_db();
+        let r = compute(db).render();
+        for op in Operator::ALL {
+            assert!(r.contains(op.label()));
+        }
+    }
+}

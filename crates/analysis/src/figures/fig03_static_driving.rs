@@ -1,0 +1,212 @@
+//! Fig. 3: overall throughput and RTT, static city baselines vs driving.
+
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+
+/// One operator's six CDFs: (DL, UL, RTT) × (static, driving).
+#[derive(Debug, Clone)]
+pub struct OpPerf {
+    /// Operator.
+    pub op: Operator,
+    /// Static downlink throughput samples, Mbps.
+    pub static_dl: Ecdf,
+    /// Static uplink throughput, Mbps.
+    pub static_ul: Ecdf,
+    /// Static RTT, ms.
+    pub static_rtt: Ecdf,
+    /// Driving downlink throughput, Mbps.
+    pub driving_dl: Ecdf,
+    /// Driving uplink throughput, Mbps.
+    pub driving_ul: Ecdf,
+    /// Driving RTT, ms.
+    pub driving_rtt: Ecdf,
+}
+
+/// Fig. 3 data for all operators.
+#[derive(Debug, Clone)]
+pub struct StaticVsDriving {
+    /// Per-operator CDFs.
+    pub per_op: Vec<OpPerf>,
+}
+
+fn tput_ecdf(db: &ConsolidatedDb, op: Operator, kind: TestKind, is_static: bool) -> Ecdf {
+    Ecdf::new(
+        db.records
+            .iter()
+            .filter(|r| r.op == op && r.kind == kind && r.is_static == is_static)
+            .flat_map(|r| r.tput_samples()),
+    )
+}
+
+fn rtt_ecdf(db: &ConsolidatedDb, op: Operator, is_static: bool) -> Ecdf {
+    Ecdf::new(
+        db.records
+            .iter()
+            .filter(|r| r.op == op && r.kind == TestKind::Rtt && r.is_static == is_static)
+            .flat_map(|r| r.rtt_ms.iter().map(|&v| v as f64)),
+    )
+}
+
+/// Compute Fig. 3 from the database.
+pub fn compute(db: &ConsolidatedDb) -> StaticVsDriving {
+    StaticVsDriving {
+        per_op: Operator::ALL
+            .iter()
+            .map(|&op| OpPerf {
+                op,
+                static_dl: tput_ecdf(db, op, TestKind::ThroughputDl, true),
+                static_ul: tput_ecdf(db, op, TestKind::ThroughputUl, true),
+                static_rtt: rtt_ecdf(db, op, true),
+                driving_dl: tput_ecdf(db, op, TestKind::ThroughputDl, false),
+                driving_ul: tput_ecdf(db, op, TestKind::ThroughputUl, false),
+                driving_rtt: rtt_ecdf(db, op, false),
+            })
+            .collect(),
+    }
+}
+
+impl StaticVsDriving {
+    /// Data for one operator.
+    pub fn for_op(&self, op: Operator) -> &OpPerf {
+        self.per_op
+            .iter()
+            .find(|p| p.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Fraction of driving throughput samples below 5 Mbps across all
+    /// operators and directions (§5.1 reports ~35 %).
+    pub fn frac_driving_below_5mbps(&self) -> f64 {
+        let mut below = 0usize;
+        let mut total = 0usize;
+        for p in &self.per_op {
+            for e in [&p.driving_dl, &p.driving_ul] {
+                below += (e.frac_below(5.0) * e.len() as f64) as usize;
+                total += e.len();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            below as f64 / total as f64
+        }
+    }
+
+    /// Render both panels.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 3a — static performance (Mbps / ms)");
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} static DL", p.op.code()), &p.static_dl));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} static UL", p.op.code()), &p.static_ul));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} static RTT", p.op.code()), &p.static_rtt));
+            out.push('\n');
+        }
+        out.push_str(&cdf_header("Fig. 3b — driving performance (Mbps / ms)"));
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} driving DL", p.op.code()), &p.driving_dl));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} driving UL", p.op.code()), &p.driving_ul));
+            out.push('\n');
+            out.push_str(&cdf_row(
+                &format!("{} driving RTT", p.op.code()),
+                &p.driving_rtt,
+            ));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "driving samples below 5 Mbps: {:.1}% (paper: ~35%)\n",
+            self.frac_driving_below_5mbps() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db as small_db;
+
+    #[test]
+    fn static_medians_order_verizon_att_tmobile() {
+        // Fig. 3a DL medians: 1511 (V) / 710 (A) / 311 (T) Mbps.
+        let f = compute(small_db());
+        let f_v = f.for_op(Operator::Verizon);
+        let f_a = f.for_op(Operator::Att);
+        let f_t = f.for_op(Operator::TMobile);
+        // Verizon's mmWave-everywhere static strategy wins outright.
+        assert!(f_v.static_dl.median() > f_a.static_dl.median());
+        assert!(f_v.static_dl.median() > f_t.static_dl.median());
+        assert!(f_v.static_dl.median() > 500.0);
+        // AT&T's mmWave peaks above T-Mobile's midband ceiling (paper:
+        // maxima 2043 vs 812) — the per-city medians themselves are noisy
+        // with only ~9 cities, as in the paper's own data.
+        assert!(
+            f_a.static_dl.max() > f_t.static_dl.max(),
+            "A max {} vs T max {}",
+            f_a.static_dl.max(),
+            f_t.static_dl.max()
+        );
+    }
+
+    #[test]
+    fn driving_collapses_vs_static() {
+        // §5.1: driving medians are 1-5 % of static DL medians.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.static_dl.is_empty() || p.driving_dl.is_empty() {
+                continue;
+            }
+            let ratio = p.driving_dl.median() / p.static_dl.median();
+            assert!(ratio < 0.35, "{op}: driving/static = {ratio}");
+        }
+    }
+
+    #[test]
+    fn uplink_order_of_magnitude_below_downlink_static() {
+        let f = compute(small_db());
+        let p = f.for_op(Operator::Verizon);
+        assert!(p.static_ul.median() * 3.0 < p.static_dl.median());
+    }
+
+    #[test]
+    fn substantial_low_throughput_tail_driving() {
+        let f = compute(small_db());
+        let frac = f.frac_driving_below_5mbps();
+        assert!((0.15..0.60).contains(&frac), "below-5Mbps frac {frac}");
+    }
+
+    #[test]
+    fn driving_rtt_inflated() {
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.static_rtt.is_empty() || p.driving_rtt.is_empty() {
+                continue;
+            }
+            assert!(
+                p.driving_rtt.percentile(90.0) > p.static_rtt.percentile(90.0),
+                "{op}"
+            );
+            // Paper: driving maxima reach seconds.
+            assert!(p.driving_rtt.max() > 300.0, "{op}: max {}", p.driving_rtt.max());
+        }
+    }
+
+    #[test]
+    fn driving_medians_in_papers_band() {
+        // Fig. 3b: DL median/75th between 6-34 / 47-74 Mbps.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let m = f.for_op(op).driving_dl.median();
+            assert!((3.0..60.0).contains(&m), "{op} driving DL median {m}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Fig. 9: per-test mean and standard deviation (as % of the mean) of
+//! throughput and RTT — the 30 s / 20 s timescale of §5.6.
+
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+use crate::stats::{mean, std_dev};
+
+/// Per-operator distributions of per-test means and std-dev percentages.
+#[derive(Debug, Clone)]
+pub struct OpTestStats {
+    /// Operator.
+    pub op: Operator,
+    /// Per-test mean DL throughput, Mbps.
+    pub dl_mean: Ecdf,
+    /// Per-test mean UL throughput, Mbps.
+    pub ul_mean: Ecdf,
+    /// Per-test mean RTT, ms.
+    pub rtt_mean: Ecdf,
+    /// Per-test DL std-dev as % of the mean.
+    pub dl_stdpct: Ecdf,
+    /// Per-test UL std-dev as % of the mean.
+    pub ul_stdpct: Ecdf,
+    /// Per-test RTT std-dev as % of the mean.
+    pub rtt_stdpct: Ecdf,
+}
+
+/// Fig. 9 data.
+#[derive(Debug, Clone)]
+pub struct TestStats {
+    /// Per-operator stats.
+    pub per_op: Vec<OpTestStats>,
+}
+
+fn tput_stats(db: &ConsolidatedDb, op: Operator, kind: TestKind) -> (Ecdf, Ecdf) {
+    let mut means = Vec::new();
+    let mut stdpcts = Vec::new();
+    for r in db
+        .records
+        .iter()
+        .filter(|r| r.op == op && !r.is_static && r.kind == kind)
+    {
+        let v: Vec<f64> = r.tput_samples().collect();
+        if v.len() < 10 {
+            continue;
+        }
+        let m = mean(&v);
+        means.push(m);
+        if m > 1e-6 {
+            stdpcts.push(std_dev(&v) / m * 100.0);
+        }
+    }
+    (Ecdf::new(means), Ecdf::new(stdpcts))
+}
+
+fn rtt_stats(db: &ConsolidatedDb, op: Operator) -> (Ecdf, Ecdf) {
+    let mut means = Vec::new();
+    let mut stdpcts = Vec::new();
+    for r in db
+        .records
+        .iter()
+        .filter(|r| r.op == op && !r.is_static && r.kind == TestKind::Rtt)
+    {
+        let v: Vec<f64> = r.rtt_ms.iter().map(|&x| x as f64).collect();
+        if v.len() < 10 {
+            continue;
+        }
+        let m = mean(&v);
+        means.push(m);
+        if m > 1e-6 {
+            stdpcts.push(std_dev(&v) / m * 100.0);
+        }
+    }
+    (Ecdf::new(means), Ecdf::new(stdpcts))
+}
+
+/// Compute Fig. 9 from the driving tests.
+pub fn compute(db: &ConsolidatedDb) -> TestStats {
+    TestStats {
+        per_op: Operator::ALL
+            .iter()
+            .map(|&op| {
+                let (dl_mean, dl_stdpct) = tput_stats(db, op, TestKind::ThroughputDl);
+                let (ul_mean, ul_stdpct) = tput_stats(db, op, TestKind::ThroughputUl);
+                let (rtt_mean, rtt_stdpct) = rtt_stats(db, op);
+                OpTestStats {
+                    op,
+                    dl_mean,
+                    ul_mean,
+                    rtt_mean,
+                    dl_stdpct,
+                    ul_stdpct,
+                    rtt_stdpct,
+                }
+            })
+            .collect(),
+    }
+}
+
+impl TestStats {
+    /// Stats for one operator.
+    pub fn for_op(&self, op: Operator) -> &OpTestStats {
+        self.per_op
+            .iter()
+            .find(|p| p.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 9 — per-test mean & std-dev%");
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} DL mean (Mbps)", p.op.code()), &p.dl_mean));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} UL mean (Mbps)", p.op.code()), &p.ul_mean));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} RTT mean (ms)", p.op.code()), &p.rtt_mean));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} DL std%", p.op.code()), &p.dl_stdpct));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} UL std%", p.op.code()), &p.ul_stdpct));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} RTT std%", p.op.code()), &p.rtt_stdpct));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db as small_db;
+
+    #[test]
+    fn per_test_medians_in_papers_range() {
+        // §5.6: median DL 30/37/48 Mbps, UL 13/14/10 Mbps, RTT 64/82/81 ms.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            let dl = p.dl_mean.median();
+            let ul = p.ul_mean.median();
+            let rtt = p.rtt_mean.median();
+            assert!((5.0..110.0).contains(&dl), "{op} DL median {dl}");
+            assert!((2.0..40.0).contains(&ul), "{op} UL median {ul}");
+            assert!((30.0..160.0).contains(&rtt), "{op} RTT median {rtt}");
+        }
+    }
+
+    #[test]
+    fn per_test_mean_median_exceeds_sample_median() {
+        // §5.6: "the median throughput is higher than that in Fig. 3
+        // (which shows the CDF of 500 ms throughput samples), as the
+        // throughput of the samples is long-tailed."
+        let db = small_db();
+        let f = compute(db);
+        let samples = crate::figures::fig03_static_driving::compute(db);
+        for op in Operator::ALL {
+            let per_test = f.for_op(op).dl_mean.median();
+            let per_sample = samples.for_op(op).driving_dl.median();
+            assert!(
+                per_test > per_sample * 0.8,
+                "{op}: per-test {per_test} vs per-sample {per_sample}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_fluctuates_heavily_within_tests() {
+        // §5.6: median std% 45-70 for throughput.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            assert!(p.dl_stdpct.median() > 25.0, "{op} DL std% {}", p.dl_stdpct.median());
+        }
+    }
+
+    #[test]
+    fn rtt_fluctuates_less_than_throughput() {
+        // §5.6: RTT std% medians 18-29 vs 44-70 for throughput.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.rtt_stdpct.is_empty() || p.dl_stdpct.is_empty() {
+                continue;
+            }
+            assert!(
+                p.rtt_stdpct.median() < p.dl_stdpct.median() + 25.0,
+                "{op}: rtt {} vs dl {}",
+                p.rtt_stdpct.median(),
+                p.dl_stdpct.median()
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 11: handover statistics — HOs per mile and HO duration.
+
+use wheels_ran::operator::Operator;
+use wheels_ran::Direction;
+use wheels_xcal::database::{ConsolidatedDb, TestKind};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+
+/// Per (operator, direction): HOs/mile and HO-duration distributions.
+#[derive(Debug, Clone)]
+pub struct HandoverStats {
+    /// (op, dir, HOs-per-mile ECDF over tests).
+    pub per_mile: Vec<(Operator, Direction, Ecdf)>,
+    /// (op, dir, HO duration ECDF in ms).
+    pub duration_ms: Vec<(Operator, Direction, Ecdf)>,
+}
+
+/// Compute Fig. 11 from driving throughput tests.
+pub fn compute(db: &ConsolidatedDb) -> HandoverStats {
+    let mut per_mile = Vec::new();
+    let mut duration_ms = Vec::new();
+    for &op in &Operator::ALL {
+        for dir in Direction::BOTH {
+            let kind = match dir {
+                Direction::Downlink => TestKind::ThroughputDl,
+                Direction::Uplink => TestKind::ThroughputUl,
+            };
+            let records: Vec<_> = db
+                .records
+                .iter()
+                .filter(|r| r.op == op && !r.is_static && r.kind == kind)
+                .collect();
+            per_mile.push((
+                op,
+                dir,
+                Ecdf::new(records.iter().filter_map(|r| r.handovers_per_mile())),
+            ));
+            duration_ms.push((
+                op,
+                dir,
+                Ecdf::new(
+                    records
+                        .iter()
+                        .flat_map(|r| r.handovers.iter().map(|h| h.duration_ms)),
+                ),
+            ));
+        }
+    }
+    HandoverStats {
+        per_mile,
+        duration_ms,
+    }
+}
+
+impl HandoverStats {
+    /// HOs/mile for one (op, dir).
+    pub fn per_mile_for(&self, op: Operator, dir: Direction) -> &Ecdf {
+        &self
+            .per_mile
+            .iter()
+            .find(|(o, d, _)| *o == op && *d == dir)
+            .expect("all combos computed")
+            .2
+    }
+
+    /// HO durations for one (op, dir).
+    pub fn duration_for(&self, op: Operator, dir: Direction) -> &Ecdf {
+        &self
+            .duration_ms
+            .iter()
+            .find(|(o, d, _)| *o == op && *d == dir)
+            .expect("all combos computed")
+            .2
+    }
+
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 11a — handovers per mile");
+        out.push('\n');
+        for (op, dir, e) in &self.per_mile {
+            out.push_str(&cdf_row(&format!("{} {}", op.code(), dir.label()), e));
+            out.push('\n');
+        }
+        out.push_str(&cdf_header("Fig. 11b — handover duration (ms)"));
+        out.push('\n');
+        for (op, dir, e) in &self.duration_ms {
+            out.push_str(&cdf_row(&format!("{} {}", op.code(), dir.label()), e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db as small_db;
+
+    #[test]
+    fn median_hos_per_mile_low() {
+        // Fig. 11a: medians 1-3 per mile, 75th percentiles ≤ ~6.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            for dir in Direction::BOTH {
+                let e = f.per_mile_for(op, dir);
+                if e.len() < 20 {
+                    continue;
+                }
+                let med = e.median();
+                assert!((0.0..7.0).contains(&med), "{op} {}: median {med}", dir.label());
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_can_exceed_ten_per_mile() {
+        // Fig. 11a: "more than 20 HOs per mile in extreme cases" — at
+        // reduced scale we just require a heavy tail.
+        let f = compute(small_db());
+        let max = Operator::ALL
+            .iter()
+            .map(|&op| f.per_mile_for(op, Direction::Downlink).max())
+            .fold(0.0, f64::max);
+        assert!(max > 4.0, "max HOs/mile {max}");
+    }
+
+    #[test]
+    fn durations_match_fig11b() {
+        // Medians ≈ 49-76 ms; T-Mobile slowest.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let e = f.duration_for(op, Direction::Downlink);
+            if e.len() < 20 {
+                continue;
+            }
+            let med = e.median();
+            assert!((35.0..100.0).contains(&med), "{op}: duration median {med}");
+        }
+        let t = f.duration_for(Operator::TMobile, Direction::Downlink);
+        let v = f.duration_for(Operator::Verizon, Direction::Downlink);
+        if t.len() > 30 && v.len() > 30 {
+            assert!(t.median() > v.median(), "T {} vs V {}", t.median(), v.median());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Fig. 13 (Verizon) / Figs. 18-19 (all operators): the AR app.
+
+use wheels_netsim::server::ServerKind;
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+use crate::stats::pearson;
+
+/// One operator's AR results.
+#[derive(Debug, Clone)]
+pub struct OpArResults {
+    /// Operator.
+    pub op: Operator,
+    /// Driving E2E latency per run (mean ms), with compression.
+    pub e2e_compressed: Ecdf,
+    /// Driving E2E latency per run, without compression.
+    pub e2e_raw: Ecdf,
+    /// Driving offloaded FPS per run (compressed runs).
+    pub fps: Ecdf,
+    /// Driving mAP per run (compressed runs).
+    pub map: Ecdf,
+    /// Best static E2E (compressed), ms.
+    pub best_static_e2e: Option<f64>,
+    /// Best static mAP (compressed).
+    pub best_static_map: Option<f64>,
+    /// (frac hs5G, mAP, server kind) scatter (compressed driving runs).
+    pub map_vs_hs5g: Vec<(f64, f64, ServerKind)>,
+    /// Pearson r between handovers-per-run and mAP.
+    pub ho_map_corr: f64,
+}
+
+/// Fig. 13 data for all operators.
+#[derive(Debug, Clone)]
+pub struct ArResults {
+    /// Per-operator results.
+    pub per_op: Vec<OpArResults>,
+}
+
+fn runs(db: &ConsolidatedDb, op: Operator, is_static: bool) -> impl Iterator<Item = &TestRecord> {
+    db.records
+        .iter()
+        .filter(move |r| r.op == op && r.kind == TestKind::AppAr && r.is_static == is_static)
+}
+
+fn metric<'a>(
+    it: impl Iterator<Item = &'a TestRecord> + 'a,
+    compressed: bool,
+    f: impl Fn(&wheels_xcal::database::AppMetrics) -> Option<f32> + 'a,
+) -> impl Iterator<Item = f64> + 'a {
+    it.filter_map(move |r| {
+        let a = r.app.as_ref()?;
+        if a.compressed != Some(compressed) {
+            return None;
+        }
+        f(a).map(f64::from)
+    })
+}
+
+/// Compute AR results from the database.
+pub fn compute(db: &ConsolidatedDb) -> ArResults {
+    let per_op = Operator::ALL
+        .iter()
+        .map(|&op| {
+            let e2e_compressed = Ecdf::new(metric(runs(db, op, false), true, |a| a.e2e_ms_mean));
+            let e2e_raw = Ecdf::new(metric(runs(db, op, false), false, |a| a.e2e_ms_mean));
+            let fps = Ecdf::new(metric(runs(db, op, false), true, |a| a.offload_fps));
+            let map = Ecdf::new(metric(runs(db, op, false), true, |a| a.map_accuracy));
+            let best_static_e2e = metric(runs(db, op, true), true, |a| a.e2e_ms_mean)
+                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.min(v))));
+            let best_static_map = metric(runs(db, op, true), true, |a| a.map_accuracy)
+                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))));
+            let map_vs_hs5g: Vec<(f64, f64, ServerKind)> = runs(db, op, false)
+                .filter_map(|r| {
+                    let a = r.app.as_ref()?;
+                    if a.compressed != Some(true) {
+                        return None;
+                    }
+                    Some((
+                        r.frac_hs5g as f64,
+                        a.map_accuracy? as f64,
+                        r.server_kind,
+                    ))
+                })
+                .collect();
+            let pairs: Vec<(f64, f64)> = runs(db, op, false)
+                .filter_map(|r| {
+                    let a = r.app.as_ref()?;
+                    if a.compressed != Some(true) {
+                        return None;
+                    }
+                    Some((r.handovers.len() as f64, a.map_accuracy? as f64))
+                })
+                .collect();
+            let ho_map_corr = pearson(
+                &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+                &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+            );
+            OpArResults {
+                op,
+                e2e_compressed,
+                e2e_raw,
+                fps,
+                map,
+                best_static_e2e,
+                best_static_map,
+                map_vs_hs5g,
+                ho_map_corr,
+            }
+        })
+        .collect();
+    ArResults { per_op }
+}
+
+impl ArResults {
+    /// Results for one operator.
+    pub fn for_op(&self, op: Operator) -> &OpArResults {
+        self.per_op
+            .iter()
+            .find(|p| p.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 13/18/19 — AR app (per run)");
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} E2E comp (ms)", p.op.code()), &p.e2e_compressed));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} E2E raw (ms)", p.op.code()), &p.e2e_raw));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} offload FPS", p.op.code()), &p.fps));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} mAP (%)", p.op.code()), &p.map));
+            out.push('\n');
+            out.push_str(&format!(
+                "  {} best static: E2E {:?} ms, mAP {:?} | r(HOs, mAP) = {:+.2}\n",
+                p.op.code(),
+                p.best_static_e2e.map(|v| v.round()),
+                p.best_static_map.map(|v| (v * 10.0).round() / 10.0),
+                p.ho_map_corr
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::small_db;
+
+    #[test]
+    fn driving_e2e_well_above_best_static() {
+        // §7.1.1: driving median E2E 214 ms ≈ 3× the 68 ms best static.
+        let f = compute(small_db());
+        let p = f.for_op(Operator::Verizon);
+        if let Some(best) = p.best_static_e2e {
+            assert!(
+                p.e2e_compressed.median() > 1.5 * best,
+                "driving {} vs static {}",
+                p.e2e_compressed.median(),
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn compression_reduces_e2e() {
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.e2e_compressed.len() < 10 || p.e2e_raw.len() < 10 {
+                continue;
+            }
+            assert!(
+                p.e2e_compressed.median() < p.e2e_raw.median(),
+                "{op}: comp {} vs raw {}",
+                p.e2e_compressed.median(),
+                p.e2e_raw.median()
+            );
+        }
+    }
+
+    #[test]
+    fn map_capped_by_table5_and_degraded_driving() {
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.map.is_empty() {
+                continue;
+            }
+            assert!(p.map.max() <= 38.46, "{op}: max mAP {}", p.map.max());
+            assert!(p.map.median() < 36.5, "{op}: median mAP {}", p.map.median());
+        }
+    }
+
+    #[test]
+    fn handovers_do_not_correlate_with_map() {
+        // §7.1.1 obs (3).
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.map.len() < 30 {
+                continue; // too few runs for a stable r at fixture scale
+            }
+            let r = p.ho_map_corr;
+            assert!(r.abs() < 0.5, "{op}: r = {r}");
+        }
+    }
+
+    #[test]
+    fn verizon_leads_on_e2e() {
+        // §C.3: Verizon's lower RTT gives the lowest E2E with compression.
+        let f = compute(small_db());
+        let v = f.for_op(Operator::Verizon).e2e_compressed.median();
+        let t = f.for_op(Operator::TMobile).e2e_compressed.median();
+        if v > 0.0 && t > 0.0 {
+            assert!(v < t * 1.4, "V {v} vs T {t}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Fig. 14 (Verizon) / Fig. 20 (all operators): the CAV app.
+
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+use crate::stats::pearson;
+
+/// One operator's CAV results.
+#[derive(Debug, Clone)]
+pub struct OpCavResults {
+    /// Operator.
+    pub op: Operator,
+    /// Driving E2E per run (mean ms), with point-cloud compression.
+    pub e2e_compressed: Ecdf,
+    /// Driving E2E per run, raw 2 MB point clouds.
+    pub e2e_raw: Ecdf,
+    /// Lowest E2E ever observed (compressed), ms.
+    pub min_e2e: Option<f64>,
+    /// Pearson r between handovers-per-run and E2E.
+    pub ho_e2e_corr: f64,
+}
+
+/// Fig. 14 data for all operators.
+#[derive(Debug, Clone)]
+pub struct CavResults {
+    /// Per-operator results.
+    pub per_op: Vec<OpCavResults>,
+}
+
+fn runs(db: &ConsolidatedDb, op: Operator) -> impl Iterator<Item = &TestRecord> {
+    db.records
+        .iter()
+        .filter(move |r| r.op == op && r.kind == TestKind::AppCav && !r.is_static)
+}
+
+/// Compute CAV results.
+pub fn compute(db: &ConsolidatedDb) -> CavResults {
+    let per_op = Operator::ALL
+        .iter()
+        .map(|&op| {
+            let e2e = |compressed: bool| {
+                Ecdf::new(runs(db, op).filter_map(|r| {
+                    let a = r.app.as_ref()?;
+                    (a.compressed == Some(compressed))
+                        .then_some(a.e2e_ms_mean.map(f64::from))
+                        .flatten()
+                }))
+            };
+            let e2e_compressed = e2e(true);
+            let e2e_raw = e2e(false);
+            let min_e2e = if e2e_compressed.is_empty() {
+                None
+            } else {
+                Some(e2e_compressed.min())
+            };
+            let pairs: Vec<(f64, f64)> = runs(db, op)
+                .filter_map(|r| {
+                    let a = r.app.as_ref()?;
+                    if a.compressed != Some(true) {
+                        return None;
+                    }
+                    Some((r.handovers.len() as f64, a.e2e_ms_mean? as f64))
+                })
+                .collect();
+            let ho_e2e_corr = pearson(
+                &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+                &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+            );
+            OpCavResults {
+                op,
+                e2e_compressed,
+                e2e_raw,
+                min_e2e,
+                ho_e2e_corr,
+            }
+        })
+        .collect();
+    CavResults { per_op }
+}
+
+impl CavResults {
+    /// Results for one operator.
+    pub fn for_op(&self, op: Operator) -> &OpCavResults {
+        self.per_op
+            .iter()
+            .find(|p| p.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 14/20 — CAV app (per run)");
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} E2E comp (ms)", p.op.code()), &p.e2e_compressed));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} E2E raw (ms)", p.op.code()), &p.e2e_raw));
+            out.push('\n');
+            out.push_str(&format!(
+                "  {} min E2E {:?} ms (paper: never under 148 ms) | r(HOs,E2E)={:+.2}\n",
+                p.op.code(),
+                p.min_e2e.map(|v| v.round()),
+                p.ho_e2e_corr
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::small_db;
+
+    #[test]
+    fn hundred_ms_budget_unreachable() {
+        // §7.1.2: lowest E2E across the whole trip was 148 ms.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            if let Some(min) = f.for_op(op).min_e2e {
+                assert!(min > 100.0, "{op}: min E2E {min}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_cuts_e2e_several_fold() {
+        // §7.1.2: ~8× median reduction.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.e2e_compressed.len() < 10 || p.e2e_raw.len() < 10 {
+                continue;
+            }
+            let ratio = p.e2e_raw.median() / p.e2e_compressed.median();
+            assert!(ratio > 2.5, "{op}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn driving_median_hundreds_of_ms() {
+        // Paper: 269 ms median (compressed) while driving.
+        let f = compute(small_db());
+        let p = f.for_op(Operator::Verizon);
+        if p.e2e_compressed.len() >= 10 {
+            let m = p.e2e_compressed.median();
+            assert!((120.0..900.0).contains(&m), "median {m}");
+        }
+    }
+
+    #[test]
+    fn no_ho_correlation() {
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.e2e_compressed.len() < 30 {
+                continue;
+            }
+            assert!(p.ho_e2e_corr.abs() < 0.55, "{op}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Fig. 15 (Verizon) / Fig. 21 (all operators): 360° video streaming.
+
+use wheels_netsim::server::ServerKind;
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+use crate::stats::pearson;
+
+/// One operator's 360° streaming results.
+#[derive(Debug, Clone)]
+pub struct OpVideoResults {
+    /// Operator.
+    pub op: Operator,
+    /// Per-session average QoE while driving.
+    pub qoe: Ecdf,
+    /// Per-session rebuffer fraction while driving.
+    pub rebuffer: Ecdf,
+    /// Per-session average bitrate (Mbps) while driving.
+    pub bitrate: Ecdf,
+    /// Best static QoE.
+    pub best_static_qoe: Option<f64>,
+    /// (frac hs5G, QoE, server kind) per driving session.
+    pub qoe_vs_hs5g: Vec<(f64, f64, ServerKind)>,
+    /// Pearson r between handover count and QoE.
+    pub ho_qoe_corr: f64,
+}
+
+/// Fig. 15 data.
+#[derive(Debug, Clone)]
+pub struct VideoResults {
+    /// Per-operator results.
+    pub per_op: Vec<OpVideoResults>,
+}
+
+fn sessions(db: &ConsolidatedDb, op: Operator, is_static: bool) -> impl Iterator<Item = &TestRecord> {
+    db.records
+        .iter()
+        .filter(move |r| r.op == op && r.kind == TestKind::AppVideo && r.is_static == is_static)
+}
+
+/// Compute video results.
+pub fn compute(db: &ConsolidatedDb) -> VideoResults {
+    let per_op = Operator::ALL
+        .iter()
+        .map(|&op| {
+            let qoe = Ecdf::new(
+                sessions(db, op, false).filter_map(|r| r.app.as_ref()?.qoe.map(f64::from)),
+            );
+            let rebuffer = Ecdf::new(
+                sessions(db, op, false)
+                    .filter_map(|r| r.app.as_ref()?.rebuffer_frac.map(f64::from)),
+            );
+            let bitrate = Ecdf::new(
+                sessions(db, op, false)
+                    .filter_map(|r| r.app.as_ref()?.avg_bitrate_mbps.map(f64::from)),
+            );
+            let best_static_qoe = sessions(db, op, true)
+                .filter_map(|r| r.app.as_ref()?.qoe.map(f64::from))
+                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))));
+            let qoe_vs_hs5g: Vec<(f64, f64, ServerKind)> = sessions(db, op, false)
+                .filter_map(|r| {
+                    Some((
+                        r.frac_hs5g as f64,
+                        r.app.as_ref()?.qoe? as f64,
+                        r.server_kind,
+                    ))
+                })
+                .collect();
+            let pairs: Vec<(f64, f64)> = sessions(db, op, false)
+                .filter_map(|r| Some((r.handovers.len() as f64, r.app.as_ref()?.qoe? as f64)))
+                .collect();
+            let ho_qoe_corr = pearson(
+                &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+                &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+            );
+            OpVideoResults {
+                op,
+                qoe,
+                rebuffer,
+                bitrate,
+                best_static_qoe,
+                qoe_vs_hs5g,
+                ho_qoe_corr,
+            }
+        })
+        .collect();
+    VideoResults { per_op }
+}
+
+impl VideoResults {
+    /// Results for one operator.
+    pub fn for_op(&self, op: Operator) -> &OpVideoResults {
+        self.per_op
+            .iter()
+            .find(|p| p.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 15/21 — 360° video streaming (per session)");
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} QoE", p.op.code()), &p.qoe));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} rebuffer frac", p.op.code()), &p.rebuffer));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} bitrate (Mbps)", p.op.code()), &p.bitrate));
+            out.push('\n');
+            out.push_str(&format!(
+                "  {} negative-QoE sessions: {:.0}%, best static QoE {:?}, r(HOs,QoE)={:+.2}\n",
+                p.op.code(),
+                p.qoe.frac_below(0.0) * 100.0,
+                p.best_static_qoe.map(|v| v.round()),
+                p.ho_qoe_corr
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::small_db;
+
+    #[test]
+    fn driving_qoe_far_below_static() {
+        // §7.2: driving median -53.75 vs best static 96.29.
+        let f = compute(small_db());
+        let p = f.for_op(Operator::Verizon);
+        if let Some(best) = p.best_static_qoe {
+            assert!(best > 50.0, "best static QoE {best}");
+            assert!(p.qoe.median() < best - 40.0);
+        }
+    }
+
+    #[test]
+    fn many_sessions_negative() {
+        // §7.2: QoE negative for ~40 % of driving runs.
+        let f = compute(small_db());
+        let mut total = 0usize;
+        let mut neg = 0usize;
+        for op in Operator::ALL {
+            let e = &f.for_op(op).qoe;
+            total += e.len();
+            neg += (e.frac_below(0.0) * e.len() as f64).round() as usize;
+        }
+        if total >= 20 {
+            let frac = neg as f64 / total as f64;
+            assert!((0.10..0.85).contains(&frac), "negative fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn rebuffering_can_dominate_playback() {
+        // §7.2: rebuffering up to 87 % of playback time.
+        let f = compute(small_db());
+        let max = Operator::ALL
+            .iter()
+            .map(|&op| f.for_op(op).rebuffer.max())
+            .fold(0.0, f64::max);
+        // At fixture scale (~20 sessions/op) the extreme stalls are
+        // rarer; the full-scale run reaches the paper's 80+%.
+        assert!(max > 0.15, "max rebuffer frac {max}");
+    }
+
+    #[test]
+    fn qoe_uncorrelated_with_handovers() {
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.qoe.len() < 30 {
+                continue;
+            }
+            assert!(p.ho_qoe_corr.abs() < 0.55, "{op}");
+        }
+    }
+}

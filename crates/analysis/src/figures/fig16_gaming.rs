@@ -1,0 +1,175 @@
+//! Fig. 16 (Verizon) / Fig. 22 (all operators): cloud gaming.
+
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+
+use crate::ecdf::Ecdf;
+use crate::render::{cdf_header, cdf_row};
+use crate::stats::pearson;
+
+/// One operator's cloud-gaming results.
+#[derive(Debug, Clone)]
+pub struct OpGamingResults {
+    /// Operator.
+    pub op: Operator,
+    /// Per-session send bitrate (Mbps), driving.
+    pub bitrate: Ecdf,
+    /// Per-session network latency (ms), driving.
+    pub latency: Ecdf,
+    /// Per-session frame-drop fraction, driving.
+    pub frame_drop: Ecdf,
+    /// Best static bitrate (Mbps).
+    pub best_static_bitrate: Option<f64>,
+    /// Pearson r between handover count and frame-drop fraction.
+    pub ho_drop_corr: f64,
+}
+
+/// Fig. 16 data.
+#[derive(Debug, Clone)]
+pub struct GamingResults {
+    /// Per-operator results.
+    pub per_op: Vec<OpGamingResults>,
+}
+
+fn sessions(db: &ConsolidatedDb, op: Operator, is_static: bool) -> impl Iterator<Item = &TestRecord> {
+    db.records
+        .iter()
+        .filter(move |r| r.op == op && r.kind == TestKind::AppGaming && r.is_static == is_static)
+}
+
+/// Compute gaming results.
+pub fn compute(db: &ConsolidatedDb) -> GamingResults {
+    let per_op = Operator::ALL
+        .iter()
+        .map(|&op| {
+            let bitrate = Ecdf::new(
+                sessions(db, op, false)
+                    .filter_map(|r| r.app.as_ref()?.send_bitrate_mbps.map(f64::from)),
+            );
+            let latency = Ecdf::new(
+                sessions(db, op, false)
+                    .filter_map(|r| r.app.as_ref()?.net_latency_ms.map(f64::from)),
+            );
+            let frame_drop = Ecdf::new(
+                sessions(db, op, false)
+                    .filter_map(|r| r.app.as_ref()?.frame_drop_frac.map(f64::from)),
+            );
+            let best_static_bitrate = sessions(db, op, true)
+                .filter_map(|r| r.app.as_ref()?.send_bitrate_mbps.map(f64::from))
+                .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))));
+            let pairs: Vec<(f64, f64)> = sessions(db, op, false)
+                .filter_map(|r| {
+                    Some((
+                        r.handovers.len() as f64,
+                        r.app.as_ref()?.frame_drop_frac? as f64,
+                    ))
+                })
+                .collect();
+            let ho_drop_corr = pearson(
+                &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+                &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+            );
+            OpGamingResults {
+                op,
+                bitrate,
+                latency,
+                frame_drop,
+                best_static_bitrate,
+                ho_drop_corr,
+            }
+        })
+        .collect();
+    GamingResults { per_op }
+}
+
+impl GamingResults {
+    /// Results for one operator.
+    pub fn for_op(&self, op: Operator) -> &OpGamingResults {
+        self.per_op
+            .iter()
+            .find(|p| p.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        let mut out = cdf_header("Fig. 16/22 — cloud gaming (per session)");
+        out.push('\n');
+        for p in &self.per_op {
+            out.push_str(&cdf_row(&format!("{} bitrate (Mbps)", p.op.code()), &p.bitrate));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} latency (ms)", p.op.code()), &p.latency));
+            out.push('\n');
+            out.push_str(&cdf_row(&format!("{} frame drop", p.op.code()), &p.frame_drop));
+            out.push('\n');
+            out.push_str(&format!(
+                "  {} best static bitrate {:?} Mbps | r(HOs, drops)={:+.2}\n",
+                p.op.code(),
+                p.best_static_bitrate.map(|v| v.round()),
+                p.ho_drop_corr
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::small_db;
+
+    #[test]
+    fn driving_bitrate_collapses_vs_static() {
+        // §7.3: median 17.5 Mbps driving vs 98.5 static.
+        let f = compute(small_db());
+        let p = f.for_op(Operator::Verizon);
+        if let Some(best) = p.best_static_bitrate {
+            assert!(best > 60.0, "best static bitrate {best}");
+            assert!(
+                p.bitrate.median() < best * 0.6,
+                "driving {} vs static {}",
+                p.bitrate.median(),
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn latency_always_above_static_floor() {
+        // §7.3: driving latency always > 17 ms.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let e = &f.for_op(op).latency;
+            if e.is_empty() {
+                continue;
+            }
+            assert!(e.min() > 17.0, "{op}: min latency {}", e.min());
+        }
+    }
+
+    #[test]
+    fn frame_drops_typically_low() {
+        // §7.3: median drop rate ~1.6 %, max 13.2 % — the adapter
+        // sacrifices latency to protect frames.
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let e = &f.for_op(op).frame_drop;
+            if e.len() < 10 {
+                continue;
+            }
+            assert!(e.median() < 0.08, "{op}: median drop {}", e.median());
+        }
+    }
+
+    #[test]
+    fn no_handover_correlation() {
+        let f = compute(small_db());
+        for op in Operator::ALL {
+            let p = f.for_op(op);
+            if p.frame_drop.len() < 30 {
+                continue; // too few sessions at fixture scale
+            }
+            assert!(p.ho_drop_corr.abs() < 0.55, "{op}");
+        }
+    }
+}

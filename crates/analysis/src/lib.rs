@@ -1,0 +1,24 @@
+//! # wheels-analysis
+//!
+//! The analysis pipeline: every table and figure of *Performance of
+//! Cellular Networks on the Wheels*, regenerated from a
+//! [`wheels_xcal::ConsolidatedDb`] produced by `wheels-campaign`.
+//!
+//! Each `figures::figNN_*` / `figures::tableN_*` module exposes a
+//! `compute(&db, ...)` returning a typed result plus a `render()` that
+//! prints the same rows/series the paper reports. The `repro` binary in
+//! `wheels-bench` drives them all and writes EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod ecdf;
+pub mod figures;
+pub mod map;
+pub mod render;
+pub mod report;
+pub mod stats;
+
+pub use ecdf::Ecdf;
+pub use stats::{mean, pearson, percentile, std_dev};

@@ -1,0 +1,156 @@
+//! One-call full report: every table and figure rendered into a single
+//! markdown document (what `repro all` prints, with section headers).
+
+use wheels_geo::route::Route;
+use wheels_xcal::database::ConsolidatedDb;
+
+use crate::figures as figs;
+use crate::map::render_fig1_maps;
+
+/// Section of the full report.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Paper artifact id ("fig3", "table2", ...).
+    pub id: &'static str,
+    /// Section heading.
+    pub title: &'static str,
+    /// Rendered body.
+    pub body: String,
+}
+
+/// Render every paper artifact (plus the coverage maps and the MPTCP
+/// extension) from a campaign database.
+pub fn sections(db: &ConsolidatedDb, route: &Route) -> Vec<Section> {
+    let total_m = route.total_m();
+    vec![
+        Section {
+            id: "fig1",
+            title: "Fig. 1 — passive vs active coverage views",
+            body: format!(
+                "{}\n{}",
+                figs::fig01_coverage_views::compute(db).render(),
+                render_fig1_maps(db, total_m, 96)
+            ),
+        },
+        Section {
+            id: "fig2",
+            title: "Fig. 2 — technology coverage",
+            body: figs::fig02_coverage::compute(db).render(),
+        },
+        Section {
+            id: "fig3",
+            title: "Fig. 3 — static vs driving performance",
+            body: figs::fig03_static_driving::compute(db).render(),
+        },
+        Section {
+            id: "fig4",
+            title: "Fig. 4 — per-technology performance",
+            body: figs::fig04_tech_perf::compute(db).render(),
+        },
+        Section {
+            id: "fig5",
+            title: "Fig. 5 — throughput by timezone",
+            body: figs::fig05_timezones::compute(db).render(),
+        },
+        Section {
+            id: "fig6",
+            title: "Fig. 6 — operator diversity",
+            body: figs::fig06_operator_diversity::compute(db).render(),
+        },
+        Section {
+            id: "fig7",
+            title: "Fig. 7 — throughput vs speed",
+            body: figs::fig07_speed_tput::compute(db).render(),
+        },
+        Section {
+            id: "fig8",
+            title: "Fig. 8 — RTT vs speed",
+            body: figs::fig08_speed_rtt::compute(db).render(),
+        },
+        Section {
+            id: "table2",
+            title: "Table 2 — KPI correlations",
+            body: figs::table2_correlations::compute(db).render(),
+        },
+        Section {
+            id: "fig9",
+            title: "Fig. 9 — per-test statistics",
+            body: figs::fig09_test_stats::compute(db).render(),
+        },
+        Section {
+            id: "fig10",
+            title: "Fig. 10 — performance vs hs5G time",
+            body: figs::fig10_hs5g::compute(db).render(),
+        },
+        Section {
+            id: "table3",
+            title: "Table 3 — Ookla comparison",
+            body: figs::table3_ookla::compute(db).render(),
+        },
+        Section {
+            id: "fig11",
+            title: "Fig. 11 — handover statistics",
+            body: figs::fig11_handovers::compute(db).render(),
+        },
+        Section {
+            id: "fig12",
+            title: "Fig. 12 — handover impact",
+            body: figs::fig12_ho_impact::compute(db).render(),
+        },
+        Section {
+            id: "fig13",
+            title: "Fig. 13/18/19 — AR",
+            body: figs::fig13_ar::compute(db).render(),
+        },
+        Section {
+            id: "fig14",
+            title: "Fig. 14/20 — CAV",
+            body: figs::fig14_cav::compute(db).render(),
+        },
+        Section {
+            id: "fig15",
+            title: "Fig. 15/21 — 360° video",
+            body: figs::fig15_video::compute(db).render(),
+        },
+        Section {
+            id: "fig16",
+            title: "Fig. 16/22 — cloud gaming",
+            body: figs::fig16_gaming::compute(db).render(),
+        },
+        Section {
+            id: "ext-mptcp",
+            title: "Extension — MPTCP over three operators",
+            body: figs::ext_multipath::compute(db).render(),
+        },
+    ]
+}
+
+/// The full report as one markdown string.
+pub fn generate(db: &ConsolidatedDb, route: &Route) -> String {
+    let mut out = String::from("# Campaign report\n\n");
+    for s in sections(db, route) {
+        out.push_str(&format!("## {}\n\n```\n{}\n```\n\n", s.title, s.body.trim_end()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::test_support::network_db;
+
+    #[test]
+    fn report_contains_every_artifact() {
+        let db = network_db();
+        let route = Route::cross_country();
+        let secs = sections(db, &route);
+        assert_eq!(secs.len(), 19);
+        for s in &secs {
+            assert!(!s.body.trim().is_empty(), "{} is empty", s.id);
+        }
+        let report = generate(db, &route);
+        for title in ["Fig. 2", "Table 2", "Fig. 12", "MPTCP"] {
+            assert!(report.contains(title), "missing {title}");
+        }
+    }
+}

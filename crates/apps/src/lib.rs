@@ -1,0 +1,109 @@
+//! # wheels-apps
+//!
+//! The four "5G killer apps" the paper evaluates (§7):
+//!
+//! * [`ar`] / [`cav`] — the custom edge-assisted AR and CAV benchmark apps
+//!   (§C.1): an Android app offloads camera frames / LIDAR point clouds to
+//!   a GPU edge server running DNN object detection, best-effort, with and
+//!   without frame compression. Configurations come verbatim from Table 4;
+//!   object-detection accuracy from the Table 5 latency→mAP study.
+//! * [`video`] — 360° video streaming (§D.1): Puffer-style server, 2 s
+//!   chunks, {100, 50, 10, 5} Mbps ladder, BBA ABR, QoE per Yin et al.
+//! * [`gaming`] — cloud gaming à la Steam Remote Play (§E.1): a bitrate
+//!   adapter capped at 100 Mbps that protects frame rate at the cost of
+//!   latency.
+//!
+//! This crate is substrate-agnostic: apps run over any [`AppLink`], which
+//! the campaign implements with the RAN + RTT simulators, and the unit
+//! tests implement synthetically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod cav;
+pub mod config;
+pub mod gaming;
+pub mod map_table;
+pub mod offload;
+pub mod video;
+
+pub use ar::ArApp;
+pub use cav::CavApp;
+pub use config::{OffloadConfig, AR_CONFIG, CAV_CONFIG};
+pub use gaming::{GamingSession, GamingSummary};
+pub use offload::{OffloadRun, OffloadSummary};
+pub use video::{VideoSession, VideoSummary};
+
+/// What an app observes about the network at an instant.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkObs {
+    /// Downlink goodput available to the app, Mbps.
+    pub dl_mbps: f64,
+    /// Uplink goodput available to the app, Mbps.
+    pub ul_mbps: f64,
+    /// Round-trip time, ms.
+    pub rtt_ms: f64,
+    /// Whether a handover interruption is in progress.
+    pub in_handover: bool,
+}
+
+/// A time-varying network link an app runs over.
+pub trait AppLink {
+    /// Observe the link at absolute time `t_s` (seconds). Calls are made
+    /// with non-decreasing `t_s`.
+    fn sample(&mut self, t_s: f64) -> LinkObs;
+}
+
+/// A constant link, for tests and examples.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLink {
+    /// The observation returned at every instant.
+    pub obs: LinkObs,
+}
+
+impl AppLink for ConstantLink {
+    fn sample(&mut self, _t_s: f64) -> LinkObs {
+        self.obs
+    }
+}
+
+impl ConstantLink {
+    /// A comfortable static 5G link (edge server).
+    pub fn good() -> Self {
+        ConstantLink {
+            obs: LinkObs {
+                dl_mbps: 600.0,
+                ul_mbps: 150.0,
+                rtt_ms: 15.0,
+                in_handover: false,
+            },
+        }
+    }
+
+    /// A struggling driving link.
+    pub fn poor() -> Self {
+        ConstantLink {
+            obs: LinkObs {
+                dl_mbps: 8.0,
+                ul_mbps: 3.0,
+                rtt_ms: 90.0,
+                in_handover: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_link_is_constant() {
+        let mut l = ConstantLink::good();
+        let a = l.sample(0.0);
+        let b = l.sample(100.0);
+        assert_eq!(a.dl_mbps, b.dl_mbps);
+        assert_eq!(a.rtt_ms, b.rtt_ms);
+    }
+}

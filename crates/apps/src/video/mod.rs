@@ -1,0 +1,234 @@
+//! 360° video streaming (§7.2, §D).
+//!
+//! The paper streams YouTube 360° videos through a Puffer server with the
+//! ABR replaced by BBA (buffer-based adaptation), 2 s chunks encoded at
+//! {100, 50, 10, 5} Mbps, 3-minute sessions, and scores QoE with the
+//! control-theoretic formula of Yin et al.:
+//! `QoE_k = B_k − λ·|B_k − B_{k−1}| − μ·T_k` with λ = 1, μ = 100.
+
+pub mod bba;
+pub mod qoe;
+
+use crate::AppLink;
+use bba::Bba;
+use qoe::{session_qoe, ChunkScore};
+
+/// Encoding ladder, Mbps, ascending (§D.1).
+pub const BITRATES_MBPS: [f64; 4] = [5.0, 10.0, 50.0, 100.0];
+/// Chunk duration, seconds.
+pub const CHUNK_S: f64 = 2.0;
+/// Session duration, seconds (§D.1: each playback session is 3 minutes).
+pub const SESSION_S: f64 = 180.0;
+/// Playback buffer capacity, seconds (Puffer-like client buffer; a deeper
+/// buffer would ride out the fades that cause the paper's heavy
+/// rebuffering).
+pub const BUFFER_CAP_S: f64 = 15.0;
+
+/// Summary of one streaming session.
+#[derive(Debug, Clone)]
+pub struct VideoSummary {
+    /// Average per-chunk QoE (Yin et al.).
+    pub qoe: f64,
+    /// Average chunk bitrate, Mbps.
+    pub avg_bitrate_mbps: f64,
+    /// Total rebuffering time, seconds.
+    pub rebuffer_s: f64,
+    /// Rebuffer time as a fraction of the session.
+    pub rebuffer_frac: f64,
+    /// Number of chunks downloaded.
+    pub chunks: usize,
+    /// Number of bitrate switches.
+    pub switches: usize,
+    /// Per-chunk scores (for deeper analysis).
+    pub per_chunk: Vec<ChunkScore>,
+}
+
+/// A 360° streaming session driven by BBA.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoSession {
+    /// Session length, seconds.
+    pub duration_s: f64,
+}
+
+impl Default for VideoSession {
+    fn default() -> Self {
+        VideoSession {
+            duration_s: SESSION_S,
+        }
+    }
+}
+
+impl VideoSession {
+    /// Play the session starting at absolute time `t0_s`.
+    pub fn run(&self, t0_s: f64, link: &mut dyn AppLink) -> VideoSummary {
+        let bba = Bba::default();
+        let mut buffer_s = 0.0_f64;
+        let mut t = t0_s;
+        let end = t0_s + self.duration_s;
+        let mut rebuffer_s = 0.0_f64;
+        let mut scores: Vec<ChunkScore> = Vec::new();
+        let mut last_rate: Option<f64> = None;
+        let step = 0.1;
+        while t < end {
+            // If the buffer is full, idle until there is room.
+            if buffer_s >= BUFFER_CAP_S - CHUNK_S {
+                buffer_s -= step;
+                t += step;
+                continue;
+            }
+            let rate = bba.pick(buffer_s, &BITRATES_MBPS, last_rate);
+            let chunk_bits = rate * 1e6 * CHUNK_S;
+            // Download the chunk over the varying link; playback drains the
+            // buffer meanwhile, stalling at zero. Each chunk is an HTTP
+            // request over a (possibly idle) TCP connection: it pays one
+            // RTT up front and ramps back to full rate over ~1 s (cwnd
+            // decays during idle, RFC 2861) — at the 100 Mbps rung this
+            // matters as much as raw capacity.
+            let mut got_bits = 0.0;
+            let mut chunk_rebuffer = 0.0;
+            let download_start = t;
+            let mut request_paid = false;
+            while got_bits < chunk_bits && t < end {
+                let obs = link.sample(t);
+                if !request_paid {
+                    // Request RTT: playback keeps draining, nothing arrives.
+                    let wait = (obs.rtt_ms / 1_000.0).min(1.0);
+                    if buffer_s > 0.0 {
+                        buffer_s = (buffer_s - wait).max(0.0);
+                    } else {
+                        chunk_rebuffer += wait;
+                    }
+                    t += wait;
+                    request_paid = true;
+                    continue;
+                }
+                let ramp = ((t - download_start) / 1.0).clamp(0.25, 1.0);
+                let rate_now = if obs.in_handover {
+                    0.0
+                } else {
+                    obs.dl_mbps * 1e6 * ramp
+                };
+                got_bits += rate_now * step;
+                if buffer_s > 0.0 {
+                    buffer_s = (buffer_s - step).max(0.0);
+                } else {
+                    chunk_rebuffer += step;
+                }
+                t += step;
+            }
+            if got_bits >= chunk_bits {
+                buffer_s = (buffer_s + CHUNK_S).min(BUFFER_CAP_S);
+                scores.push(ChunkScore {
+                    bitrate_mbps: rate,
+                    prev_bitrate_mbps: last_rate,
+                    rebuffer_s: chunk_rebuffer,
+                });
+                last_rate = Some(rate);
+            } else if chunk_rebuffer > 0.0 {
+                // Session ended mid-download while stalled: account the
+                // stall against the last chunk.
+                scores.push(ChunkScore {
+                    bitrate_mbps: rate,
+                    prev_bitrate_mbps: last_rate,
+                    rebuffer_s: chunk_rebuffer,
+                });
+            }
+            rebuffer_s += chunk_rebuffer;
+        }
+        let chunks = scores.len();
+        let avg_bitrate = if chunks == 0 {
+            0.0
+        } else {
+            scores.iter().map(|s| s.bitrate_mbps).sum::<f64>() / chunks as f64
+        };
+        let switches = scores
+            .iter()
+            .filter(|s| s.prev_bitrate_mbps.is_some_and(|p| p != s.bitrate_mbps))
+            .count();
+        VideoSummary {
+            qoe: session_qoe(&scores),
+            avg_bitrate_mbps: avg_bitrate,
+            rebuffer_s,
+            rebuffer_frac: rebuffer_s / self.duration_s,
+            chunks,
+            switches,
+            per_chunk: scores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantLink, LinkObs};
+
+    #[test]
+    fn fat_link_reaches_max_qoe() {
+        // §7.2: "the theoretical best value is 100 assuming no stalls and
+        // no bitrate switch". A 600 Mbps link should get very close (the
+        // BBA ramp-up from an empty buffer costs a few low-rate chunks).
+        let s = VideoSession::default().run(0.0, &mut ConstantLink::good());
+        assert!(s.qoe > 80.0, "qoe {}", s.qoe);
+        assert!(s.avg_bitrate_mbps > 85.0, "{}", s.avg_bitrate_mbps);
+        assert!(s.rebuffer_frac < 0.02, "{}", s.rebuffer_frac);
+    }
+
+    #[test]
+    fn starved_link_goes_negative() {
+        // Below the lowest rung (5 Mbps) the session mostly rebuffers; the
+        // μ=100 penalty drives QoE deeply negative (paper: 40 % of driving
+        // runs have negative QoE).
+        let mut link = ConstantLink {
+            obs: LinkObs {
+                dl_mbps: 2.0,
+                ul_mbps: 1.0,
+                rtt_ms: 80.0,
+                in_handover: false,
+            },
+        };
+        let s = VideoSession::default().run(0.0, &mut link);
+        assert!(s.qoe < 0.0, "qoe {}", s.qoe);
+        assert!(s.rebuffer_frac > 0.3, "{}", s.rebuffer_frac);
+    }
+
+    #[test]
+    fn mid_link_picks_mid_rate() {
+        let mut link = ConstantLink {
+            obs: LinkObs {
+                dl_mbps: 30.0,
+                ul_mbps: 5.0,
+                rtt_ms: 50.0,
+                in_handover: false,
+            },
+        };
+        let s = VideoSession::default().run(0.0, &mut link);
+        // Sustainable rate is 30 Mbps: should settle on the 10 Mbps rung
+        // mostly (50 drains the buffer).
+        assert!((8.0..45.0).contains(&s.avg_bitrate_mbps), "{}", s.avg_bitrate_mbps);
+        assert!(s.qoe > 0.0, "{}", s.qoe);
+    }
+
+    #[test]
+    fn rebuffer_fraction_can_reach_extremes() {
+        // Paper: rebuffering up to 87 % of playback time.
+        let mut link = ConstantLink {
+            obs: LinkObs {
+                dl_mbps: 0.5,
+                ul_mbps: 0.5,
+                rtt_ms: 100.0,
+                in_handover: false,
+            },
+        };
+        let s = VideoSession::default().run(0.0, &mut link);
+        assert!(s.rebuffer_frac > 0.7, "{}", s.rebuffer_frac);
+    }
+
+    #[test]
+    fn buffer_never_needed_after_warmup_on_good_link() {
+        let s = VideoSession::default().run(0.0, &mut ConstantLink::good());
+        // No chunk after the first few should see rebuffering.
+        for c in s.per_chunk.iter().skip(3) {
+            assert_eq!(c.rebuffer_s, 0.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The QoE model of Yin et al. (SIGCOMM'15), as configured in §D.1.
+//!
+//! `QoE_k = B_k − λ·|B_k − B_{k−1}| − μ·T_k` with λ = 1 and μ = 100, where
+//! `B_k` is chunk k's bitrate (Mbps) and `T_k` the rebuffering time (s)
+//! incurred while downloading it. A session's QoE is the mean over its
+//! chunks; the theoretical maximum with this ladder is 100.
+
+/// Bitrate-switch penalty weight (λ).
+pub const LAMBDA: f64 = 1.0;
+/// Rebuffering penalty weight (μ), per second of stall.
+pub const MU: f64 = 100.0;
+
+/// Per-chunk inputs to the QoE formula.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkScore {
+    /// Bitrate of this chunk, Mbps.
+    pub bitrate_mbps: f64,
+    /// Bitrate of the previous chunk, if any.
+    pub prev_bitrate_mbps: Option<f64>,
+    /// Stall time while downloading this chunk, seconds.
+    pub rebuffer_s: f64,
+}
+
+impl ChunkScore {
+    /// QoE of this chunk.
+    pub fn qoe(&self) -> f64 {
+        let switch = self
+            .prev_bitrate_mbps
+            .map_or(0.0, |p| (self.bitrate_mbps - p).abs());
+        self.bitrate_mbps - LAMBDA * switch - MU * self.rebuffer_s
+    }
+}
+
+/// Mean QoE over a session's chunks (0 for an empty session).
+pub fn session_qoe(chunks: &[ChunkScore]) -> f64 {
+    if chunks.is_empty() {
+        return 0.0;
+    }
+    chunks.iter().map(ChunkScore::qoe).sum::<f64>() / chunks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_session_scores_100() {
+        let chunks: Vec<ChunkScore> = (0..90)
+            .map(|i| ChunkScore {
+                bitrate_mbps: 100.0,
+                prev_bitrate_mbps: if i == 0 { None } else { Some(100.0) },
+                rebuffer_s: 0.0,
+            })
+            .collect();
+        assert!((session_qoe(&chunks) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_second_stall_costs_100() {
+        let c = ChunkScore {
+            bitrate_mbps: 5.0,
+            prev_bitrate_mbps: Some(5.0),
+            rebuffer_s: 1.0,
+        };
+        assert!((c.qoe() - (5.0 - 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_penalty_is_symmetric() {
+        let up = ChunkScore {
+            bitrate_mbps: 50.0,
+            prev_bitrate_mbps: Some(10.0),
+            rebuffer_s: 0.0,
+        };
+        let down = ChunkScore {
+            bitrate_mbps: 10.0,
+            prev_bitrate_mbps: Some(50.0),
+            rebuffer_s: 0.0,
+        };
+        assert!((up.qoe() - 10.0).abs() < 1e-9);
+        assert!((down.qoe() - (-30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_chunk_has_no_switch_penalty() {
+        let c = ChunkScore {
+            bitrate_mbps: 100.0,
+            prev_bitrate_mbps: None,
+            rebuffer_s: 0.0,
+        };
+        assert_eq!(c.qoe(), 100.0);
+    }
+
+    #[test]
+    fn empty_session_is_zero() {
+        assert_eq!(session_qoe(&[]), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Generate and export the dataset (the paper publishes its dataset and
+//! scripts; this is ours).
+//!
+//! ```text
+//! cargo run --release -p wheels-bench --bin dataset -- --out data/ --scale quarter
+//! ```
+//!
+//! Writes:
+//! * `dataset.json` — the full consolidated database;
+//! * `throughput.csv` — one row per 500 ms throughput sample;
+//! * `drm/XCAL_*.drm` — per-test binary XCAL logs (round-trip verified);
+//! * `summary.txt` — Table-1-style statistics.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wheels_bench::{run_campaign, ReproScale};
+use wheels_campaign::stats::Table1;
+use wheels_xcal::logger::XcalLogger;
+use wheels_xcal::{drm, export};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("dataset_out");
+    let mut scale = ReproScale::Smoke;
+    let mut seed = 2026u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out needs a path"));
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("full") => ReproScale::Full,
+                    Some("quarter") => ReproScale::Quarter,
+                    Some("smoke") => ReproScale::Smoke,
+                    other => panic!("unknown scale {other:?}"),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    eprintln!("running campaign at {scale:?} (seed {seed})...");
+    let (campaign, db) = run_campaign(scale, seed);
+    fs::create_dir_all(out.join("drm")).expect("create output directory");
+
+    // JSON.
+    let json = export::to_json(&db).expect("serialize");
+    fs::write(out.join("dataset.json"), &json).expect("write json");
+    eprintln!("wrote dataset.json ({} MB)", json.len() / 1_000_000);
+
+    // CSV.
+    let mut csv = Vec::new();
+    export::write_tput_csv(&db, &mut csv).expect("write csv");
+    fs::write(out.join("throughput.csv"), &csv).expect("write csv file");
+    eprintln!("wrote throughput.csv ({} rows)", csv.iter().filter(|&&b| b == b'\n').count() - 1);
+
+    // Binary .drm files, round-trip verified.
+    let mut n_drm = 0usize;
+    let mut drm_bytes = 0usize;
+    for r in &db.records {
+        let mut logger = XcalLogger::start(r.op, r.kind.label(), r.start_s);
+        for k in &r.kpi {
+            logger.log_sample(*k);
+        }
+        for h in &r.handovers {
+            logger.log_handover(h);
+        }
+        let log = logger.finish(r.timezone);
+        let bytes = drm::encode(&log);
+        let back = drm::decode(&bytes).expect("own encoding decodes");
+        assert_eq!(back.samples.len(), log.samples.len(), "drm round trip");
+        // Disambiguate concurrent per-operator files with the test id.
+        let name = format!("{:06}_{}", r.id, log.file_name);
+        drm_bytes += bytes.len();
+        fs::write(out.join("drm").join(name), bytes).expect("write drm");
+        n_drm += 1;
+    }
+    eprintln!("wrote {n_drm} .drm files ({} MB), all round-trip verified", drm_bytes / 1_000_000);
+
+    // Summary.
+    let t1 = Table1::compute(&db, campaign.plan().route());
+    fs::write(out.join("summary.txt"), t1.render()).expect("write summary");
+    eprintln!("wrote summary.txt");
+    println!("{}", t1.render());
+}

@@ -1,0 +1,149 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p wheels-bench --bin repro -- all
+//! cargo run --release -p wheels-bench --bin repro -- fig3 table2
+//! cargo run --release -p wheels-bench --bin repro -- --scale quarter all
+//! cargo run --release -p wheels-bench --bin repro -- --export dataset.json all
+//! ```
+
+use std::io::Write;
+
+use wheels_analysis::figures as figs;
+use wheels_bench::{run_campaign, ReproScale, EXPERIMENTS};
+use wheels_campaign::stats::Table1;
+use wheels_xcal::database::ConsolidatedDb;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ReproScale::Full;
+    let mut seed = 2026u64;
+    let mut export: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("full") => ReproScale::Full,
+                    Some("quarter") => ReproScale::Quarter,
+                    Some("smoke") => ReproScale::Smoke,
+                    other => {
+                        eprintln!("unknown scale {other:?} (full|quarter|smoke)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--export" => {
+                i += 1;
+                export = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--export needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "all" => wanted.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--export FILE] <id...|all>");
+        eprintln!("ids: {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    wanted.dedup();
+
+    eprintln!("running campaign (scale {scale:?}, seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let (campaign, db) = run_campaign(scale, seed);
+    eprintln!(
+        "campaign done in {:.1?}: {} test records, {} KPI samples",
+        t0.elapsed(),
+        db.records.len(),
+        db.records.iter().map(|r| r.kpi.len()).sum::<usize>()
+    );
+
+    if let Some(path) = export {
+        let json = wheels_xcal::export::to_json(&db).expect("database serializes");
+        std::fs::write(&path, json).expect("write export file");
+        eprintln!("dataset exported to {path}");
+    }
+
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    for id in &wanted {
+        let text = render_one(id, &campaign, &db);
+        writeln!(out, "{text}").expect("stdout");
+    }
+}
+
+fn render_one(id: &str, campaign: &wheels_campaign::Campaign, db: &ConsolidatedDb) -> String {
+    match id {
+        "table1" => format!(
+            "Table 1 — driving dataset statistics\n{}",
+            Table1::compute(db, campaign.plan().route()).render()
+        ),
+        "fig1" => format!(
+            "{}\n{}",
+            figs::fig01_coverage_views::compute(db).render(),
+            wheels_analysis::map::render_fig1_maps(
+                db,
+                campaign.plan().route().total_m(),
+                96
+            )
+        ),
+        "fig2" => figs::fig02_coverage::compute(db).render(),
+        "fig3" => figs::fig03_static_driving::compute(db).render(),
+        "fig4" => figs::fig04_tech_perf::compute(db).render(),
+        "fig5" => figs::fig05_timezones::compute(db).render(),
+        "fig6" => figs::fig06_operator_diversity::compute(db).render(),
+        "fig7" => figs::fig07_speed_tput::compute(db).render(),
+        "fig8" => figs::fig08_speed_rtt::compute(db).render(),
+        "table2" => figs::table2_correlations::compute(db).render(),
+        "fig9" => figs::fig09_test_stats::compute(db).render(),
+        "fig10" => figs::fig10_hs5g::compute(db).render(),
+        "table3" => figs::table3_ookla::compute(db).render(),
+        "fig11" => figs::fig11_handovers::compute(db).render(),
+        "fig12" => figs::fig12_ho_impact::compute(db).render(),
+        "table4" => format!(
+            "Table 4 — AR/CAV configuration\n{}",
+            wheels_apps::config::render_table4()
+        ),
+        "table5" => render_table5(),
+        "fig13" => figs::fig13_ar::compute(db).render(),
+        "fig14" => figs::fig14_cav::compute(db).render(),
+        "fig15" => figs::fig15_video::compute(db).render(),
+        "fig16" => figs::fig16_gaming::compute(db).render(),
+        "ext-mptcp" => figs::ext_multipath::compute(db).render(),
+        "report" => wheels_analysis::report::generate(db, campaign.plan().route()),
+        other => format!("unknown experiment id: {other}"),
+    }
+}
+
+fn render_table5() -> String {
+    use wheels_apps::map_table::{MAP_NO_COMPRESSION, MAP_WITH_COMPRESSION};
+    let mut s = String::from(
+        "Table 5 — mAP vs E2E latency (frame times)\nbin   mAP w/o comp   mAP w/ comp\n",
+    );
+    for i in 0..MAP_NO_COMPRESSION.len() {
+        s.push_str(&format!(
+            "{:>2}-{:<2}   {:>8.2}      {:>8.2}\n",
+            i,
+            i + 1,
+            MAP_NO_COMPRESSION[i],
+            MAP_WITH_COMPRESSION[i]
+        ));
+    }
+    s
+}

@@ -1,0 +1,79 @@
+//! # wheels-bench
+//!
+//! The reproduction harness. Two entry points:
+//!
+//! * `cargo run --release -p wheels-bench --bin repro -- <id|all>` —
+//!   run the campaign (full scale by default) and print every table and
+//!   figure of the paper. `repro all` emits the complete report used to
+//!   fill EXPERIMENTS.md.
+//! * `cargo bench -p wheels-bench` — criterion benches: component
+//!   microbenchmarks, per-figure generation benches (reduced scale), and
+//!   the ablation studies called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wheels_campaign::{Campaign, CampaignConfig};
+use wheels_xcal::database::ConsolidatedDb;
+
+/// Scale presets for the repro binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReproScale {
+    /// Full 8-day campaign (the paper's scale).
+    Full,
+    /// ~1/4 density: same shape, faster.
+    Quarter,
+    /// Miniature: smoke-test the plumbing.
+    Smoke,
+}
+
+impl ReproScale {
+    /// The campaign config for this preset.
+    pub fn config(self, seed: u64) -> CampaignConfig {
+        let mut cfg = CampaignConfig::full(seed);
+        match self {
+            ReproScale::Full => {}
+            ReproScale::Quarter => cfg.scale = 0.25,
+            ReproScale::Smoke => {
+                cfg.scale = 0.02;
+                cfg.passive_tick_s = 10.0;
+            }
+        }
+        cfg
+    }
+}
+
+/// Run a campaign and return both the database and the campaign (for
+/// route/Table-1 context).
+pub fn run_campaign(scale: ReproScale, seed: u64) -> (Campaign, ConsolidatedDb) {
+    let campaign = Campaign::new(scale.config(seed));
+    let db = campaign.run();
+    (campaign, db)
+}
+
+/// The experiment ids the repro binary understands, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "fig9",
+    "fig10", "table3", "fig11", "fig12", "table4", "table5", "fig13", "fig14", "fig15", "fig16",
+];
+
+/// Extension experiments beyond the paper's artifacts (run with
+/// `repro ext-mptcp`, not included in `all`).
+pub const EXTENSIONS: &[&str] = &["ext-mptcp"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_runs() {
+        let (_c, db) = run_campaign(ReproScale::Smoke, 1);
+        assert!(!db.records.is_empty());
+    }
+
+    #[test]
+    fn experiment_list_covers_every_artifact() {
+        // 16 figures + 5 tables = 21 artifacts.
+        assert_eq!(EXPERIMENTS.len(), 21);
+    }
+}

@@ -1,0 +1,81 @@
+//! Campaign configuration.
+
+/// Tunable parameters of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed: drives the drive plan, deployments, UEs, loggers.
+    pub seed: u64,
+    /// Fraction of round-robin cycles executed (1.0 = the full 8-day
+    /// campaign; smaller values skip cycles but keep their time slots, so
+    /// the surviving tests still span the whole route).
+    pub scale: f64,
+    /// Run the four killer apps (disable for network-only studies).
+    pub run_apps: bool,
+    /// Run the static city baselines.
+    pub run_static: bool,
+    /// Run the passive handover-logger phones.
+    pub run_passive: bool,
+    /// Passive logger cadence, seconds.
+    pub passive_tick_s: f64,
+    /// UE link-snapshot cadence during tests, seconds.
+    pub snapshot_tick_s: f64,
+    /// Idle gap between consecutive tests, seconds.
+    pub gap_s: f64,
+}
+
+impl CampaignConfig {
+    /// The full 8-day campaign at paper scale.
+    pub fn full(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            scale: 1.0,
+            run_apps: true,
+            run_static: true,
+            run_passive: true,
+            passive_tick_s: 1.0,
+            snapshot_tick_s: 0.1,
+            gap_s: 4.0,
+        }
+    }
+
+    /// A miniature campaign for tests/examples: ~4 % of cycles, coarser
+    /// passive cadence.
+    pub fn quick(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            scale: 0.04,
+            run_apps: true,
+            run_static: true,
+            run_passive: true,
+            passive_tick_s: 5.0,
+            snapshot_tick_s: 0.1,
+            gap_s: 4.0,
+        }
+    }
+
+    /// Network-tests-only variant of [`CampaignConfig::quick`].
+    pub fn quick_network_only(seed: u64) -> Self {
+        CampaignConfig {
+            run_apps: false,
+            ..Self::quick(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_is_full_scale() {
+        let c = CampaignConfig::full(1);
+        assert_eq!(c.scale, 1.0);
+        assert!(c.run_apps && c.run_static && c.run_passive);
+    }
+
+    #[test]
+    fn quick_is_subsampled() {
+        let c = CampaignConfig::quick(1);
+        assert!(c.scale < 0.2);
+    }
+}

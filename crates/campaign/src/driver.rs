@@ -1,0 +1,229 @@
+//! Glue between the RAN simulator and the network/app tests.
+//!
+//! [`LinkDriver`] steps one UE lazily along the drive at a fixed cadence,
+//! caching the latest [`LinkSnapshot`] so that a TCP flow ticking at 20 ms
+//! or an AR app sampling per frame re-uses the 100 ms RAN state instead of
+//! advancing it. It also collects every snapshot and handover for the
+//! test's XCAL record.
+
+use wheels_apps::{AppLink, LinkObs};
+use wheels_geo::trip::DrivePlan;
+use wheels_netsim::rtt::{radio_rtt_ms, RttModel};
+use wheels_netsim::server::Server;
+use wheels_ran::handover::HandoverEvent;
+use wheels_ran::policy::TrafficDemand;
+use wheels_ran::ue::{LinkSnapshot, UeRadio};
+use wheels_ran::Direction;
+
+/// Lazily advancing link state for one test.
+pub struct LinkDriver<'a> {
+    ue: &'a mut UeRadio,
+    plan: &'a DrivePlan,
+    demand: TrafficDemand,
+    tick_s: f64,
+    /// Fixed position override for static tests: (odometer_m).
+    static_od: Option<f64>,
+    last: Option<LinkSnapshot>,
+    next_step_t: f64,
+    /// All snapshots taken during the test.
+    pub snapshots: Vec<LinkSnapshot>,
+    /// All handovers executed during the test.
+    pub handovers: Vec<HandoverEvent>,
+}
+
+impl<'a> LinkDriver<'a> {
+    /// Driver for a driving test.
+    pub fn driving(
+        ue: &'a mut UeRadio,
+        plan: &'a DrivePlan,
+        demand: TrafficDemand,
+        tick_s: f64,
+    ) -> Self {
+        LinkDriver {
+            ue,
+            plan,
+            demand,
+            tick_s,
+            static_od: None,
+            last: None,
+            next_step_t: f64::NEG_INFINITY,
+            snapshots: Vec::new(),
+            handovers: Vec::new(),
+        }
+    }
+
+    /// Driver for a static test at a fixed odometer position.
+    pub fn static_at(
+        ue: &'a mut UeRadio,
+        plan: &'a DrivePlan,
+        demand: TrafficDemand,
+        tick_s: f64,
+        odometer_m: f64,
+    ) -> Self {
+        LinkDriver {
+            static_od: Some(odometer_m),
+            ..Self::driving(ue, plan, demand, tick_s)
+        }
+    }
+
+    /// The snapshot in effect at absolute time `t_s`, advancing the UE if
+    /// the cadence interval has elapsed.
+    pub fn at(&mut self, t_s: f64) -> LinkSnapshot {
+        if self.last.is_none() || t_s >= self.next_step_t {
+            let mut state = self.plan.state_at(t_s);
+            if let Some(od) = self.static_od {
+                state.odometer_m = od;
+                state.speed_mps = 0.0;
+                state.driving = false;
+                let pt = self.plan.route().point_at(od);
+                state.pos = pt.pos;
+                state.region = self.plan.route().region_at(od);
+                state.timezone = self.plan.route().timezone_at(od);
+            }
+            let snap = self.ue.step(t_s, &state, self.demand);
+            if let Some(ev) = snap.handover {
+                self.handovers.push(ev);
+            }
+            self.snapshots.push(snap);
+            self.last = Some(snap);
+            self.next_step_t = t_s + self.tick_s;
+        }
+        self.last.expect("snapshot just ensured")
+    }
+
+    /// Fraction of snapshots on high-speed 5G (Fig. 10's x-axis).
+    pub fn frac_hs5g(&self) -> f64 {
+        if self.snapshots.is_empty() {
+            return 0.0;
+        }
+        self.snapshots
+            .iter()
+            .filter(|s| s.tech.is_high_speed())
+            .count() as f64
+            / self.snapshots.len() as f64
+    }
+}
+
+/// Base RTT (seconds) for the fluid TCP model: wired path + radio access.
+/// Stochastic spikes live in [`RttModel`] and apply to ping tests; TCP's
+/// queueing delay is produced by the flow's own buffer.
+pub fn tcp_base_rtt_s(snap: &LinkSnapshot, pos: wheels_geo::coord::LatLon, server: &Server) -> f64 {
+    (RttModel::wired_ms(pos, server) + radio_rtt_ms(snap.tech)) / 1_000.0
+}
+
+/// [`AppLink`] adapter: exposes the RAN capacity and an RTT sample stream
+/// to the killer apps. TCP-level goodput is approximated as a fixed
+/// efficiency off the link capacity — the apps' own pipelines dominate.
+pub struct AppLinkAdapter<'a, 'b> {
+    /// The underlying link driver.
+    pub driver: &'b mut LinkDriver<'a>,
+    /// RTT model (per-phone).
+    pub rtt: &'b mut RttModel,
+    /// Server in use.
+    pub server: Server,
+    /// TCP efficiency factor applied to raw capacity.
+    pub efficiency: f64,
+}
+
+impl AppLink for AppLinkAdapter<'_, '_> {
+    fn sample(&mut self, t_s: f64) -> LinkObs {
+        let snap = self.driver.at(t_s);
+        let state = self.driver.plan.state_at(t_s);
+        let pos = if let Some(od) = self.driver.static_od {
+            self.driver.plan.route().point_at(od).pos
+        } else {
+            state.pos
+        };
+        let rtt_ms = self.rtt.sample_ms(
+            t_s,
+            pos,
+            &self.server,
+            snap.tech,
+            snap.sinr_dl_db,
+            snap.speed_mps,
+            snap.in_handover,
+        );
+        LinkObs {
+            dl_mbps: snap.cap_dl_mbps * self.efficiency,
+            ul_mbps: snap.cap_ul_mbps * self.efficiency,
+            rtt_ms,
+            in_handover: snap.in_handover,
+        }
+    }
+}
+
+/// Demand presented to the network by each test kind.
+pub fn demand_for(kind: wheels_xcal::TestKind) -> TrafficDemand {
+    use wheels_xcal::TestKind::*;
+    match kind {
+        ThroughputDl | AppVideo | AppGaming => TrafficDemand::Backlog(Direction::Downlink),
+        ThroughputUl | AppAr | AppCav => TrafficDemand::Backlog(Direction::Uplink),
+        Rtt => TrafficDemand::Ping,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wheels_ran::deployment::build_cells;
+    use wheels_ran::operator::Operator;
+    use wheels_ran::ue::UeParams;
+
+    fn setup() -> (DrivePlan, UeRadio) {
+        let plan = DrivePlan::cross_country(3);
+        let db = Arc::new(build_cells(plan.route(), Operator::TMobile, 3, 0));
+        let ue = UeRadio::new(Operator::TMobile, db, UeParams::default(), 17);
+        (plan, ue)
+    }
+
+    #[test]
+    fn driver_caches_within_tick() {
+        let (plan, mut ue) = setup();
+        let t0 = plan.days()[0].start_time_s as f64;
+        let mut d = LinkDriver::driving(
+            &mut ue,
+            &plan,
+            TrafficDemand::Backlog(Direction::Downlink),
+            0.1,
+        );
+        let a = d.at(t0);
+        let b = d.at(t0 + 0.05); // within the tick: cached
+        assert_eq!(a.time_s, b.time_s);
+        let c = d.at(t0 + 0.2);
+        assert!(c.time_s > a.time_s);
+        assert_eq!(d.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn static_driver_pins_position() {
+        let (plan, mut ue) = setup();
+        let t0 = plan.days()[0].start_time_s as f64;
+        let mut d = LinkDriver::static_at(
+            &mut ue,
+            &plan,
+            TrafficDemand::Backlog(Direction::Downlink),
+            0.1,
+            50_000.0,
+        );
+        for i in 0..50 {
+            let s = d.at(t0 + i as f64 * 0.1);
+            assert_eq!(s.odometer_m, 50_000.0);
+            assert_eq!(s.speed_mps, 0.0);
+        }
+    }
+
+    #[test]
+    fn demand_mapping_matches_app_direction() {
+        use wheels_xcal::TestKind::*;
+        assert_eq!(
+            demand_for(AppAr),
+            TrafficDemand::Backlog(Direction::Uplink)
+        );
+        assert_eq!(
+            demand_for(AppVideo),
+            TrafficDemand::Backlog(Direction::Downlink)
+        );
+        assert_eq!(demand_for(Rtt), TrafficDemand::Ping);
+    }
+}

@@ -1,0 +1,34 @@
+//! # wheels-campaign
+//!
+//! The measurement campaign orchestrator: reproduces the paper's §3
+//! methodology end-to-end inside the simulation.
+//!
+//! * Three "test phones" (one per operator) run the paper's test suite in
+//!   round-robin while the vehicle drives LA → Boston: 30 s nuttcp DL,
+//!   30 s nuttcp UL, 20 s ICMP RTT, then the four killer apps.
+//! * Three "handover-logger" phones passively ping all day (the
+//!   pessimistic coverage view of Fig. 1).
+//! * Static baselines run in the 10 major cities facing the best
+//!   high-speed-5G cell the operator has there (Fig. 3a), skipping
+//!   operator-city combos that never elevate the UE (as the paper did).
+//! * Everything is logged through `wheels-xcal` (including the
+//!   local-vs-EDT timestamp mess) and assembled into a
+//!   [`wheels_xcal::ConsolidatedDb`].
+//!
+//! [`CampaignConfig::scale`] subsamples round-robin cycles so unit tests
+//! and examples can run a miniature campaign in seconds while benches run
+//! the full-scale one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod ookla;
+pub mod runner;
+pub mod static_tests;
+pub mod stats;
+
+pub use config::CampaignConfig;
+pub use runner::Campaign;
+pub use stats::Table1;

@@ -1,0 +1,162 @@
+//! Table 1: driving dataset statistics.
+
+use wheels_geo::cities::{major_cities, states_crossed};
+use wheels_geo::route::Route;
+use wheels_geo::timezone::Timezone;
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestKind};
+
+/// The dataset statistics of Table 1, computed from a campaign run.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Total geographic distance, km.
+    pub distance_km: f64,
+    /// States / major cities / counties-equivalent (we report waypoint
+    /// towns) crossed.
+    pub states: usize,
+    /// Major cities on the route.
+    pub major_cities: usize,
+    /// Timezones crossed.
+    pub timezones: usize,
+    /// Unique cells connected per operator (V, T, A).
+    pub unique_cells: [usize; 3],
+    /// Handovers per operator (V, T, A) — from the passive loggers, like
+    /// the paper's Table 1.
+    pub handovers: [usize; 3],
+    /// Total data received across tests, GB.
+    pub rx_gb: f64,
+    /// Total data transmitted across tests, GB.
+    pub tx_gb: f64,
+    /// Cumulative experiment runtime per operator (V, T, A), minutes.
+    pub runtime_min: [f64; 3],
+}
+
+impl Table1 {
+    /// Compute the table from a campaign database and route.
+    pub fn compute(db: &ConsolidatedDb, route: &Route) -> Self {
+        let mut unique_cells = [0usize; 3];
+        let mut handovers = [0usize; 3];
+        let mut runtime_min = [0f64; 3];
+        let mut rx_bytes = 0f64;
+        let mut tx_bytes = 0f64;
+        for (i, &op) in Operator::ALL.iter().enumerate() {
+            unique_cells[i] = db.unique_cells(op);
+            handovers[i] = db
+                .passive_for(op)
+                .map(|p| p.cell_changes())
+                .unwrap_or_else(|| db.handover_count(op));
+            runtime_min[i] = db
+                .records
+                .iter()
+                .filter(|r| r.op == op)
+                .map(|r| r.duration_s)
+                .sum::<f64>()
+                / 60.0;
+        }
+        for r in &db.records {
+            let bytes: f64 = r
+                .tput_samples()
+                .map(|mbps| mbps * 1e6 / 8.0 * 0.5)
+                .sum();
+            match r.kind {
+                TestKind::ThroughputDl => rx_bytes += bytes,
+                TestKind::ThroughputUl => tx_bytes += bytes,
+                TestKind::AppVideo => {
+                    if let Some(app) = &r.app {
+                        if let Some(b) = app.avg_bitrate_mbps {
+                            rx_bytes += b as f64 * 1e6 / 8.0 * r.duration_s;
+                        }
+                    }
+                }
+                TestKind::AppGaming => {
+                    if let Some(app) = &r.app {
+                        if let Some(b) = app.send_bitrate_mbps {
+                            rx_bytes += b as f64 * 1e6 / 8.0 * r.duration_s;
+                        }
+                    }
+                }
+                TestKind::AppAr | TestKind::AppCav => {
+                    if let Some(app) = &r.app {
+                        if let (Some(fps), Some(compressed)) = (app.offload_fps, app.compressed) {
+                            let cfg = if r.kind == TestKind::AppAr {
+                                wheels_apps::AR_CONFIG
+                            } else {
+                                wheels_apps::CAV_CONFIG
+                            };
+                            tx_bytes +=
+                                fps as f64 * r.duration_s * cfg.frame_bytes(compressed);
+                        }
+                    }
+                }
+                TestKind::Rtt => {}
+            }
+        }
+        Table1 {
+            distance_km: route.total_m() / 1_000.0,
+            states: states_crossed(),
+            major_cities: major_cities().count(),
+            timezones: Timezone::ALL.len(),
+            unique_cells,
+            handovers,
+            rx_gb: rx_bytes / 1e9,
+            tx_gb: tx_bytes / 1e9,
+            runtime_min,
+        }
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        format!(
+            "Total geographical distance travelled | {:.0} km\n\
+             States/major cities traveled          | {}/{}\n\
+             Timezones traveled                    | {}\n\
+             Operators                             | Verizon (V), T-Mobile (T), AT&T (A)\n\
+             # of unique cells connected           | {} (V), {} (T), {} (A)\n\
+             # of handovers                        | {} (V), {} (T), {} (A)\n\
+             Total cellular data used              | {:.1} GB (Rx), {:.1} GB (Tx)\n\
+             Cumulative experiment runtime         | {:.0} min (V), {:.0} min (T), {:.0} min (A)\n",
+            self.distance_km,
+            self.states,
+            self.major_cities,
+            self.timezones,
+            self.unique_cells[0],
+            self.unique_cells[1],
+            self.unique_cells[2],
+            self.handovers[0],
+            self.handovers[1],
+            self.handovers[2],
+            self.rx_gb,
+            self.tx_gb,
+            self.runtime_min[0],
+            self.runtime_min[1],
+            self.runtime_min[2],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CampaignConfig;
+    use crate::runner::Campaign;
+
+    #[test]
+    fn table1_from_tiny_campaign() {
+        let mut cfg = CampaignConfig::quick_network_only(5);
+        cfg.scale = 0.01;
+        cfg.run_static = false;
+        cfg.passive_tick_s = 20.0;
+        let campaign = Campaign::new(cfg);
+        let db = campaign.run();
+        let t1 = Table1::compute(&db, campaign.plan().route());
+        assert!((t1.distance_km - 5_711.0).abs() < 2.0);
+        assert_eq!(t1.major_cities, 10);
+        assert_eq!(t1.timezones, 4);
+        assert!(t1.rx_gb > 0.0);
+        assert!(t1.tx_gb > 0.0);
+        assert!(t1.unique_cells.iter().all(|&c| c > 0));
+        let rendered = t1.render();
+        assert!(rendered.contains("5711 km"));
+        assert!(rendered.contains("Verizon (V)"));
+    }
+}

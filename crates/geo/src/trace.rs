@@ -1,0 +1,124 @@
+//! GPS traces as logged by the measurement apps.
+//!
+//! The handover-logger app (§3) records GPS alongside cell information; the
+//! XCAL logs are joined against these traces during post-processing. A
+//! [`GpsTrace`] is a uniformly sampled readout of a [`DrivePlan`].
+
+use crate::coord::LatLon;
+use crate::region::RegionKind;
+use crate::timezone::Timezone;
+use crate::trip::DrivePlan;
+
+/// One GPS fix with the motion context the apps log.
+#[derive(Debug, Clone, Copy)]
+pub struct GpsSample {
+    /// Plan time, seconds.
+    pub time_s: f64,
+    /// Position.
+    pub pos: LatLon,
+    /// Speed over ground, m/s.
+    pub speed_mps: f64,
+    /// Course over ground, degrees.
+    pub bearing_deg: f64,
+    /// Odometer, meters (not logged by real GPS; kept for joining).
+    pub odometer_m: f64,
+    /// Region classification at this fix.
+    pub region: RegionKind,
+    /// Timezone at this fix.
+    pub timezone: Timezone,
+    /// True if the vehicle was in a driving window.
+    pub driving: bool,
+}
+
+/// A uniformly sampled GPS trace.
+#[derive(Debug, Clone)]
+pub struct GpsTrace {
+    samples: Vec<GpsSample>,
+    interval_s: f64,
+}
+
+impl GpsTrace {
+    /// Sample `plan` every `interval_s` seconds across all driving windows
+    /// (overnight gaps are skipped — the loggers were powered but parked,
+    /// and parked samples carry no coverage-per-mile information).
+    pub fn sample_driving(plan: &DrivePlan, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "interval must be positive");
+        let mut samples = Vec::new();
+        for day in plan.days() {
+            let mut t = day.start_time_s as f64;
+            while t <= day.end_time_s as f64 {
+                let s = plan.state_at(t);
+                samples.push(GpsSample {
+                    time_s: s.time_s,
+                    pos: s.pos,
+                    speed_mps: s.speed_mps,
+                    bearing_deg: s.bearing_deg,
+                    odometer_m: s.odometer_m,
+                    region: s.region,
+                    timezone: s.timezone,
+                    driving: s.driving,
+                });
+                t += interval_s;
+            }
+        }
+        GpsTrace {
+            samples,
+            interval_s,
+        }
+    }
+
+    /// The samples in time order.
+    pub fn samples(&self) -> &[GpsSample] {
+        &self.samples
+    }
+
+    /// Sampling interval, seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Total driven distance represented by the trace, meters.
+    pub fn distance_m(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.odometer_m - a.odometer_m,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_covers_whole_route() {
+        let plan = DrivePlan::cross_country(3);
+        let trace = GpsTrace::sample_driving(&plan, 30.0);
+        let total = plan.route().total_m();
+        assert!((trace.distance_m() - total).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn samples_time_ordered() {
+        let plan = DrivePlan::cross_country(3);
+        let trace = GpsTrace::sample_driving(&plan, 60.0);
+        for w in trace.samples().windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+        }
+    }
+
+    #[test]
+    fn finer_interval_more_samples() {
+        let plan = DrivePlan::cross_country(3);
+        let coarse = GpsTrace::sample_driving(&plan, 60.0);
+        let fine = GpsTrace::sample_driving(&plan, 10.0);
+        assert!(fine.samples().len() > 4 * coarse.samples().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let plan = DrivePlan::cross_country(3);
+        let _ = GpsTrace::sample_driving(&plan, 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! CUBIC congestion control (RFC 8312), the default the paper's nuttcp
+//! throughput tests used (§5).
+
+use crate::tcp::{CongestionControl, INIT_CWND, MSS};
+
+/// CUBIC scaling constant (RFC 8312), in segments/s³.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// CUBIC state. Window accounting is in bytes externally, segments
+/// internally.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd_seg: f64,
+    ssthresh_seg: f64,
+    w_max_seg: f64,
+    k_s: f64,
+    epoch_start_s: Option<f64>,
+    /// TCP-friendliness estimate (RFC 8312 §4.2).
+    w_est_seg: f64,
+}
+
+impl Cubic {
+    /// A fresh flow in slow start.
+    pub fn new() -> Self {
+        Cubic {
+            cwnd_seg: INIT_CWND / MSS,
+            ssthresh_seg: f64::INFINITY,
+            w_max_seg: 0.0,
+            k_s: 0.0,
+            epoch_start_s: None,
+            w_est_seg: 0.0,
+        }
+    }
+
+    fn w_cubic(&self, t_s: f64) -> f64 {
+        C * (t_s - self.k_s).powi(3) + self.w_max_seg
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd_bytes(&self) -> f64 {
+        self.cwnd_seg * MSS
+    }
+
+    fn on_ack(&mut self, now_s: f64, acked_bytes: f64, rtt_s: f64) {
+        let acked_seg = acked_bytes / MSS;
+        if self.cwnd_seg < self.ssthresh_seg {
+            // Slow start: one segment per acked segment.
+            self.cwnd_seg += acked_seg;
+            return;
+        }
+        let epoch = *self.epoch_start_s.get_or_insert_with(|| {
+            // New congestion-avoidance epoch.
+            if self.w_max_seg < self.cwnd_seg {
+                self.w_max_seg = self.cwnd_seg;
+            }
+            self.k_s = ((self.w_max_seg * (1.0 - BETA)) / C).cbrt();
+            self.w_est_seg = self.cwnd_seg;
+            now_s
+        });
+        let t = now_s - epoch;
+        // TCP-friendly region estimate.
+        self.w_est_seg += 3.0 * (1.0 - BETA) / (1.0 + BETA) * (acked_seg / self.cwnd_seg);
+        let target = self.w_cubic(t + rtt_s).max(self.w_est_seg);
+        if target > self.cwnd_seg {
+            // Grow towards target, at most one segment per acked segment.
+            let grow = ((target - self.cwnd_seg) / self.cwnd_seg * acked_seg).min(acked_seg);
+            self.cwnd_seg += grow.max(0.0);
+        }
+    }
+
+    fn on_loss(&mut self, _now_s: f64) {
+        self.w_max_seg = self.cwnd_seg;
+        self.cwnd_seg = (self.cwnd_seg * BETA).max(2.0);
+        self.ssthresh_seg = self.cwnd_seg;
+        self.epoch_start_s = None;
+    }
+
+    fn on_timeout(&mut self, _now_s: f64) {
+        self.w_max_seg = self.cwnd_seg;
+        self.ssthresh_seg = (self.cwnd_seg * BETA).max(2.0);
+        self.cwnd_seg = INIT_CWND / MSS;
+        self.epoch_start_s = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_init_cwnd() {
+        assert!((Cubic::new().cwnd_bytes() - INIT_CWND).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut c = Cubic::new();
+        let w0 = c.cwnd_bytes();
+        // Ack a full window: slow start should double it.
+        c.on_ack(0.1, w0, 0.05);
+        assert!((c.cwnd_bytes() - 2.0 * w0).abs() < 1.0);
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta_and_exits_slow_start() {
+        let mut c = Cubic::new();
+        for i in 0..10 {
+            c.on_ack(i as f64 * 0.05, c.cwnd_bytes(), 0.05);
+        }
+        let before = c.cwnd_bytes();
+        c.on_loss(1.0);
+        assert!((c.cwnd_bytes() - before * BETA).abs() < 1.0);
+        // Next acks are congestion avoidance, not doubling.
+        let w = c.cwnd_bytes();
+        c.on_ack(1.05, w, 0.05);
+        assert!(c.cwnd_bytes() < 1.9 * w);
+    }
+
+    #[test]
+    fn concave_then_convex_growth() {
+        // After a loss, growth rate should slow as cwnd approaches w_max
+        // (concave region), then pick up beyond it (convex region).
+        let mut c = Cubic::new();
+        // Modest slow start so K stays small and both regions fit in 30 s.
+        for i in 0..5 {
+            c.on_ack(i as f64 * 0.05, c.cwnd_bytes(), 0.05);
+        }
+        c.on_loss(1.0);
+        let w_max = c.w_max_seg;
+        let mut t = 1.0;
+        let mut prev = c.cwnd_seg;
+        let mut rate_near_wmax = 0.0;
+        let mut rate_late = 0.0;
+        while t < 30.0 {
+            c.on_ack(t, c.cwnd_bytes(), 0.05);
+            let rate = c.cwnd_seg - prev;
+            if (c.cwnd_seg - w_max).abs() < w_max * 0.05 {
+                rate_near_wmax = rate;
+            }
+            if c.cwnd_seg > w_max * 1.5 {
+                rate_late = rate;
+                break;
+            }
+            prev = c.cwnd_seg;
+            t += 0.05;
+        }
+        assert!(
+            rate_late > rate_near_wmax,
+            "convex region should outgrow the plateau: {rate_late} vs {rate_near_wmax}"
+        );
+    }
+
+    #[test]
+    fn timeout_resets_to_init() {
+        let mut c = Cubic::new();
+        for i in 0..10 {
+            c.on_ack(i as f64 * 0.05, c.cwnd_bytes(), 0.05);
+        }
+        c.on_timeout(1.0);
+        assert!((c.cwnd_bytes() - INIT_CWND).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cwnd_never_below_two_segments() {
+        let mut c = Cubic::new();
+        for _ in 0..50 {
+            c.on_loss(0.0);
+        }
+        assert!(c.cwnd_bytes() >= 2.0 * MSS);
+    }
+}

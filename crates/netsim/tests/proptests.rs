@@ -1,0 +1,127 @@
+//! Property tests for the network simulator.
+
+use proptest::prelude::*;
+
+use wheels_netsim::bbr::Bbr;
+use wheels_netsim::bulk::BulkTransferTest;
+use wheels_netsim::cubic::Cubic;
+use wheels_netsim::event::EventQueue;
+use wheels_netsim::mptcp::{MptcpMode, MultipathFlow};
+use wheels_netsim::reno::Reno;
+use wheels_netsim::tcp::{CongestionControl, FluidTcp, MSS};
+use wheels_netsim::{bps_to_mbps, mbps_to_bps};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn event_queue_fifo_for_ties(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(42.0, i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().map(|(_, v)| v), Some(i));
+        }
+    }
+
+    #[test]
+    fn all_ccs_conserve_bytes(caps in prop::collection::vec(0.0f64..400.0, 20..150),
+                              which in 0u8..3) {
+        let cc: Box<dyn CongestionControl + Send> = match which {
+            0 => Box::new(Cubic::new()),
+            1 => Box::new(Reno::new()),
+            _ => Box::new(Bbr::new()),
+        };
+        let mut flow = FluidTcp::new(cc);
+        let dt = 0.05;
+        let mut t = 0.0;
+        let mut offered = 0.0;
+        for &cap in &caps {
+            flow.tick(t, dt, cap, 0.05);
+            offered += mbps_to_bps(cap) * dt;
+            t += dt;
+        }
+        prop_assert!(flow.total_delivered_bytes() <= offered + 1.0);
+        prop_assert!(flow.queue_bytes() >= 0.0);
+    }
+
+    #[test]
+    fn cwnd_always_at_least_two_segments(events in prop::collection::vec(0u8..3, 1..150),
+                                         which in 0u8..2) {
+        let mut cc: Box<dyn CongestionControl + Send> = match which {
+            0 => Box::new(Cubic::new()),
+            _ => Box::new(Reno::new()),
+        };
+        let mut t = 0.0;
+        for e in events {
+            t += 0.05;
+            match e {
+                0 => cc.on_ack(t, cc.cwnd_bytes(), 0.05),
+                1 => cc.on_loss(t),
+                _ => cc.on_timeout(t),
+            }
+            prop_assert!(cc.cwnd_bytes() >= 2.0 * MSS - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bulk_samples_nonnegative_and_bounded(caps in prop::collection::vec(0.0f64..300.0, 4..20)) {
+        let test = BulkTransferTest { duration_s: 10.0, ..Default::default() };
+        let caps2 = caps.clone();
+        let samples = test.run(0.0, move |t| {
+            let idx = ((t / 10.0 * caps2.len() as f64) as usize).min(caps2.len() - 1);
+            (caps2[idx], 0.05)
+        });
+        let max_cap = caps.iter().copied().fold(0.0, f64::max);
+        for s in samples {
+            prop_assert!(s.mbps >= 0.0);
+            // A 500 ms window can briefly drain queued bytes above the
+            // instantaneous capacity, but never above the max capacity.
+            prop_assert!(s.mbps <= max_cap + 1.0, "{} vs {}", s.mbps, max_cap);
+        }
+    }
+
+    #[test]
+    fn mptcp_aggregate_bounded_by_path_sum(caps in prop::collection::vec(
+        (0.0f64..200.0, 0.0f64..200.0, 0.0f64..200.0), 20..80))
+    {
+        let mut flow = MultipathFlow::new(3, MptcpMode::Aggregate);
+        let dt = 0.05;
+        let mut t = 0.0;
+        let mut offered = 0.0;
+        for &(a, b, c) in &caps {
+            flow.tick(t, dt, &[a, b, c], &[0.05, 0.05, 0.05]);
+            offered += mbps_to_bps(a + b + c) * dt;
+            t += dt;
+        }
+        prop_assert!(flow.total_delivered_bytes() <= offered + 1.0);
+    }
+
+    #[test]
+    fn mptcp_bestpath_bounded_by_max_path(cap in 1.0f64..300.0) {
+        let mut flow = MultipathFlow::new(3, MptcpMode::BestPath);
+        let dt = 0.02;
+        let mut t = 0.0;
+        while t < 10.0 {
+            flow.tick(t, dt, &[cap, cap / 2.0, cap / 4.0], &[0.05, 0.05, 0.05]);
+            t += dt;
+        }
+        let avg = bps_to_mbps(flow.total_delivered_bytes() / 10.0);
+        prop_assert!(avg <= cap + 1.0, "{avg} vs {cap}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Link capacity from bandwidth, SINR, MIMO layers, BLER and cell load.
+//!
+//! Capacity here is the PHY-layer rate the serving cell can deliver to *this*
+//! UE: `Σ_cc bw·eff(SINR)·layers·(1−BLER)·overhead·load_share`. The load
+//! share — the fraction of the cell's airtime the scheduler gives this UE —
+//! is the dominant source of throughput variance in the wild, and is why the
+//! paper finds that no single PHY KPI correlates strongly with throughput
+//! (Table 2). The cell-load process itself lives in `wheels-ran`; this
+//! module just combines the factors.
+
+use crate::db_to_linear;
+use crate::mcs::{mcs_from_sinr, spectral_efficiency};
+
+/// Static capacity parameters of one configured link (one technology ×
+/// direction on one carrier network).
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityModel {
+    /// Aggregate bandwidth across all aggregated component carriers, MHz.
+    pub total_bw_mhz: f64,
+    /// Effective spatial layers (MIMO rank actually sustained on the move).
+    pub layers: f64,
+    /// L1/L2 overhead factor in (0, 1]: DMRS, control, retransmissions.
+    pub overhead: f64,
+}
+
+/// The computed capacity plus the KPI values the XCAL logger reports.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCapacity {
+    /// Deliverable rate for this UE, Mbps.
+    pub mbps: f64,
+    /// Primary-cell MCS index selected for this SINR.
+    pub mcs: u8,
+    /// Spectral efficiency in use, bits/s/Hz/layer.
+    pub efficiency: f64,
+}
+
+impl CapacityModel {
+    /// Create a model; panics (debug) on non-physical parameters.
+    pub fn new(total_bw_mhz: f64, layers: f64, overhead: f64) -> Self {
+        debug_assert!(total_bw_mhz > 0.0);
+        debug_assert!(layers >= 1.0);
+        debug_assert!((0.0..=1.0).contains(&overhead));
+        CapacityModel {
+            total_bw_mhz,
+            layers,
+            overhead,
+        }
+    }
+
+    /// Capacity for a wideband `sinr_db`, residual `bler`, and scheduler
+    /// `load_share` in [0, 1].
+    ///
+    /// Below the SINR where even MCS 0 fits (≈ −7 dB), the link limps along
+    /// at the gapped Shannon bound rather than the table floor — the model
+    /// must never promise more than physics no matter how low the SINR.
+    pub fn capacity(&self, sinr_db: f64, bler: f64, load_share: f64) -> LinkCapacity {
+        let mcs = mcs_from_sinr(sinr_db);
+        let gapped_bound = (1.0 + db_to_linear(sinr_db - 3.0)).log2();
+        let eff = spectral_efficiency(mcs).min(gapped_bound).max(0.0);
+        let mbps = self.total_bw_mhz
+            * eff
+            * self.layers
+            * self.overhead
+            * (1.0 - bler.clamp(0.0, 1.0))
+            * load_share.clamp(0.0, 1.0);
+        LinkCapacity {
+            mbps,
+            mcs,
+            efficiency: eff,
+        }
+    }
+
+    /// Shannon-bound sanity value for the same bandwidth (Mbps), used in
+    /// tests to check we never exceed physics.
+    pub fn shannon_mbps(&self, sinr_db: f64) -> f64 {
+        self.total_bw_mhz * self.layers * (1.0 + db_to_linear(sinr_db)).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_monotone_in_sinr() {
+        let m = CapacityModel::new(100.0, 2.0, 0.85);
+        let mut last = 0.0;
+        for s in (-10..30).step_by(2) {
+            let c = m.capacity(s as f64, 0.1, 1.0).mbps;
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn capacity_below_shannon() {
+        let m = CapacityModel::new(100.0, 2.0, 0.85);
+        for s in -5..30 {
+            let c = m.capacity(s as f64, 0.0, 1.0).mbps;
+            assert!(c < m.shannon_mbps(s as f64), "sinr {s}");
+        }
+    }
+
+    #[test]
+    fn mmwave_peak_matches_s21_spec() {
+        // Samsung S21 peak: ~3.5 Gbps DL over 8 CC × 100 MHz mmWave
+        // (effectively single-layer 64/256QAM with heavy overhead on the
+        // move; net ~4.4 bits/s/Hz).
+        let m = CapacityModel::new(800.0, 1.0, 0.75);
+        let c = m.capacity(30.0, 0.0, 1.0).mbps;
+        assert!((2_800.0..5_000.0).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn midband_peak_plausible() {
+        // 100 MHz n41, 4 layers: ~1-2 Gbps ideal.
+        let m = CapacityModel::new(100.0, 4.0, 0.85);
+        let c = m.capacity(27.0, 0.05, 1.0).mbps;
+        assert!((900.0..2_600.0).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn load_share_scales_linearly() {
+        let m = CapacityModel::new(20.0, 2.0, 0.9);
+        let full = m.capacity(15.0, 0.1, 1.0).mbps;
+        let half = m.capacity(15.0, 0.1, 0.5).mbps;
+        assert!((half * 2.0 - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bler_reduces_capacity() {
+        let m = CapacityModel::new(20.0, 2.0, 0.9);
+        assert!(m.capacity(15.0, 0.3, 1.0).mbps < m.capacity(15.0, 0.05, 1.0).mbps);
+    }
+
+    #[test]
+    fn kpis_reported() {
+        let m = CapacityModel::new(20.0, 2.0, 0.9);
+        let c = m.capacity(12.0, 0.1, 1.0);
+        assert!(c.mcs > 0 && c.mcs <= crate::mcs::MAX_MCS);
+        assert!(c.efficiency > 0.0);
+    }
+}

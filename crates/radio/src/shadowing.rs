@@ -1,0 +1,157 @@
+//! Spatially correlated log-normal shadowing (Gudmundson model).
+//!
+//! Drive-test RSRP wobbles smoothly as the vehicle moves: obstructions come
+//! and go over tens to hundreds of meters. We model shadowing as a
+//! first-order autoregressive Gaussian process over *odometer distance*:
+//!
+//! `S(d + Δ) = ρ·S(d) + sqrt(1 − ρ²)·σ·Z`, with `ρ = exp(−Δ/D_corr)`.
+//!
+//! Each (cell, UE) pair gets an independent field seeded from the pair's
+//! identity, so the process is deterministic and can be evaluated lazily at
+//! whatever odometer positions the simulation visits (monotonically).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A lazily evaluated AR(1) shadowing process over distance.
+#[derive(Debug, Clone)]
+pub struct ShadowingField {
+    sigma_db: f64,
+    corr_dist_m: f64,
+    rng: SmallRng,
+    last_d_m: f64,
+    last_value_db: f64,
+    initialized: bool,
+}
+
+impl ShadowingField {
+    /// Create a field with std-dev `sigma_db` and decorrelation distance
+    /// `corr_dist_m`, seeded deterministically.
+    pub fn new(sigma_db: f64, corr_dist_m: f64, seed: u64) -> Self {
+        assert!(sigma_db >= 0.0 && corr_dist_m > 0.0);
+        ShadowingField {
+            sigma_db,
+            corr_dist_m,
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407)),
+            last_d_m: 0.0,
+            last_value_db: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Shadowing in dB at odometer distance `d_m`.
+    ///
+    /// Must be called with non-decreasing `d_m` (the vehicle only moves
+    /// forward); a repeated distance returns the same value.
+    pub fn at(&mut self, d_m: f64) -> f64 {
+        if !self.initialized {
+            self.initialized = true;
+            self.last_d_m = d_m;
+            self.last_value_db = self.gauss() * self.sigma_db;
+            return self.last_value_db;
+        }
+        let delta = d_m - self.last_d_m;
+        debug_assert!(delta >= -1e-9, "shadowing evaluated backwards: {delta}");
+        if delta <= 0.0 {
+            return self.last_value_db;
+        }
+        let rho = (-delta / self.corr_dist_m).exp();
+        self.last_value_db =
+            rho * self.last_value_db + (1.0 - rho * rho).sqrt() * self.sigma_db * self.gauss();
+        self.last_d_m = d_m;
+        self.last_value_db
+    }
+
+    /// Std-dev of the marginal distribution, dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Approximate standard normal via sum of uniforms (Irwin–Hall with
+    /// n = 12): cheap, deterministic, tails adequate for shadowing.
+    fn gauss(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += self.rng.gen::<f64>();
+        }
+        s - 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_statistics() {
+        let mut f = ShadowingField::new(6.0, 50.0, 99);
+        let mut vals = Vec::new();
+        let mut d = 0.0;
+        for _ in 0..20_000 {
+            d += 100.0; // well beyond decorrelation -> near-iid samples
+            vals.push(f.at(d));
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.3, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn nearby_samples_correlated() {
+        let mut f = ShadowingField::new(6.0, 100.0, 7);
+        let a = f.at(1_000.0);
+        let b = f.at(1_001.0); // 1 m later: almost identical
+        assert!((a - b).abs() < 2.0);
+    }
+
+    #[test]
+    fn repeated_distance_stable() {
+        let mut f = ShadowingField::new(6.0, 100.0, 7);
+        let a = f.at(500.0);
+        let b = f.at(500.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut f1 = ShadowingField::new(6.0, 100.0, 1234);
+        let mut f2 = ShadowingField::new(6.0, 100.0, 1234);
+        for d in [0.0, 10.0, 200.0, 5_000.0] {
+            assert_eq!(f1.at(d), f2.at(d));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut f1 = ShadowingField::new(6.0, 100.0, 1);
+        let mut f2 = ShadowingField::new(6.0, 100.0, 2);
+        assert_ne!(f1.at(100.0), f2.at(100.0));
+    }
+
+    #[test]
+    fn empirical_autocorrelation_decays() {
+        // Samples 10 m apart should correlate far more than samples 500 m
+        // apart, for a 100 m decorrelation distance.
+        let corr_at = |step: f64| {
+            let mut f = ShadowingField::new(6.0, 100.0, 42);
+            let mut prev = f.at(0.0);
+            let mut num = 0.0;
+            let mut den = 0.0;
+            let mut d = 0.0;
+            for _ in 0..50_000 {
+                d += step;
+                let v = f.at(d);
+                num += prev * v;
+                den += v * v;
+                prev = v;
+            }
+            num / den
+        };
+        let near = corr_at(10.0);
+        let far = corr_at(500.0);
+        assert!(near > 0.8, "near {near}");
+        assert!(far < 0.2, "far {far}");
+    }
+}

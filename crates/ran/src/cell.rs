@@ -1,0 +1,199 @@
+//! Cell sites and the per-operator cell database.
+//!
+//! Cells are indexed by their closest-approach odometer position along the
+//! route, one sorted layer per technology, so the simulator can query
+//! "which cells can I hear at odometer X" with a binary search. Table 1 of
+//! the paper counts 3,020 / 4,038 / 3,150 unique cells connected for
+//! Verizon / T-Mobile / AT&T — our deployment generator produces databases
+//! of comparable density.
+
+use wheels_radio::band::Technology;
+
+use crate::operator::Operator;
+
+/// Globally unique cell identifier (unique across operators and layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct CellId(pub u32);
+
+/// One cell site (one sector of one gNB/eNB on one layer).
+#[derive(Debug, Clone, Copy)]
+pub struct CellSite {
+    /// Unique id.
+    pub id: CellId,
+    /// Owning operator.
+    pub op: Operator,
+    /// Radio technology of this layer.
+    pub tech: Technology,
+    /// Odometer position of the site's closest approach to the road, m.
+    pub odometer_m: f64,
+    /// Lateral offset from the road, m (towers are rarely on the shoulder).
+    pub lateral_m: f64,
+    /// Per-resource-element EIRP, dBm (channel EIRP normalized per RE, the
+    /// quantity RSRP budgets use).
+    pub eirp_re_dbm: f64,
+}
+
+impl CellSite {
+    /// 3-D-ish distance from a UE at odometer `od_m`, meters.
+    pub fn distance_m(&self, od_m: f64) -> f64 {
+        let along = od_m - self.odometer_m;
+        (along * along + self.lateral_m * self.lateral_m).sqrt()
+    }
+}
+
+/// All cells of one operator, organized per technology layer and sorted by
+/// odometer.
+#[derive(Debug, Clone)]
+pub struct CellDb {
+    op: Operator,
+    /// One sorted vector per technology (index = position in
+    /// `Technology::ALL`).
+    layers: [Vec<CellSite>; 5],
+}
+
+impl CellDb {
+    /// Build a database from an unsorted site list.
+    ///
+    /// # Panics
+    /// Panics if any site belongs to a different operator.
+    pub fn new(op: Operator, mut sites: Vec<CellSite>) -> Self {
+        assert!(
+            sites.iter().all(|s| s.op == op),
+            "site list contains foreign operator"
+        );
+        sites.sort_by(|a, b| {
+            a.odometer_m
+                .partial_cmp(&b.odometer_m)
+                .expect("odometer is finite")
+        });
+        let mut layers: [Vec<CellSite>; 5] = Default::default();
+        for s in sites {
+            let li = tech_index(s.tech);
+            layers[li].push(s);
+        }
+        CellDb { op, layers }
+    }
+
+    /// The operator this database belongs to.
+    pub fn op(&self) -> Operator {
+        self.op
+    }
+
+    /// Total number of cells across all layers.
+    pub fn len(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// True if no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of cells on one technology layer.
+    pub fn layer_len(&self, tech: Technology) -> usize {
+        self.layers[tech_index(tech)].len()
+    }
+
+    /// Cells of `tech` whose closest approach lies within `window_m` of
+    /// `od_m`, in odometer order.
+    pub fn cells_near(&self, tech: Technology, od_m: f64, window_m: f64) -> &[CellSite] {
+        let layer = &self.layers[tech_index(tech)];
+        let lo = layer.partition_point(|s| s.odometer_m < od_m - window_m);
+        let hi = layer.partition_point(|s| s.odometer_m <= od_m + window_m);
+        &layer[lo..hi]
+    }
+
+    /// The strongest candidate of `tech` near `od_m` by plain distance
+    /// (before shadowing): used for availability pre-checks.
+    pub fn nearest_cell(&self, tech: Technology, od_m: f64) -> Option<&CellSite> {
+        let window = tech.nominal_range_m() * 2.0;
+        self.cells_near(tech, od_m, window)
+            .iter()
+            .min_by(|a, b| {
+                a.distance_m(od_m)
+                    .partial_cmp(&b.distance_m(od_m))
+                    .expect("distances are finite")
+            })
+    }
+}
+
+/// Index of a technology in [`Technology::ALL`].
+pub fn tech_index(tech: Technology) -> usize {
+    Technology::ALL
+        .iter()
+        .position(|&t| t == tech)
+        .expect("technology is one of the five known kinds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(id: u32, tech: Technology, od: f64) -> CellSite {
+        CellSite {
+            id: CellId(id),
+            op: Operator::Verizon,
+            tech,
+            odometer_m: od,
+            lateral_m: 100.0,
+            eirp_re_dbm: 30.0,
+        }
+    }
+
+    #[test]
+    fn cells_near_returns_window() {
+        let db = CellDb::new(
+            Operator::Verizon,
+            vec![
+                site(1, Technology::Lte, 1_000.0),
+                site(2, Technology::Lte, 5_000.0),
+                site(3, Technology::Lte, 9_000.0),
+                site(4, Technology::Nr5gMid, 5_100.0),
+            ],
+        );
+        let near = db.cells_near(Technology::Lte, 5_000.0, 2_000.0);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].id, CellId(2));
+        let wide = db.cells_near(Technology::Lte, 5_000.0, 5_000.0);
+        assert_eq!(wide.len(), 3);
+        // Different layer is not mixed in.
+        assert_eq!(db.cells_near(Technology::Nr5gMid, 5_000.0, 2_000.0).len(), 1);
+    }
+
+    #[test]
+    fn nearest_cell_picks_closest() {
+        let db = CellDb::new(
+            Operator::Verizon,
+            vec![
+                site(1, Technology::Lte, 1_000.0),
+                site(2, Technology::Lte, 4_000.0),
+            ],
+        );
+        assert_eq!(
+            db.nearest_cell(Technology::Lte, 3_500.0).unwrap().id,
+            CellId(2)
+        );
+    }
+
+    #[test]
+    fn nearest_cell_none_when_layer_empty() {
+        let db = CellDb::new(Operator::Verizon, vec![site(1, Technology::Lte, 0.0)]);
+        assert!(db.nearest_cell(Technology::Nr5gMmWave, 0.0).is_none());
+    }
+
+    #[test]
+    fn distance_includes_lateral() {
+        let s = site(1, Technology::Lte, 1_000.0);
+        assert!((s.distance_m(1_000.0) - 100.0).abs() < 1e-9);
+        let d = s.distance_m(1_300.0);
+        assert!((d - (300.0f64 * 300.0 + 100.0 * 100.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign operator")]
+    fn foreign_operator_rejected() {
+        let mut s = site(1, Technology::Lte, 0.0);
+        s.op = Operator::Att;
+        let _ = CellDb::new(Operator::Verizon, vec![s]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Dataset export.
+//!
+//! The paper publishes its dataset and scripts; we export the consolidated
+//! database as JSON (full fidelity) and a compact CSV of throughput
+//! samples for spreadsheet-style analysis.
+
+use std::io::Write;
+
+use crate::database::{ConsolidatedDb, TestRecord};
+
+/// Serialize the full database to pretty JSON.
+pub fn to_json(db: &ConsolidatedDb) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(db)
+}
+
+/// Deserialize a database from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<ConsolidatedDb> {
+    serde_json::from_str(s)
+}
+
+/// CSV header for the throughput-sample export.
+pub const CSV_HEADER: &str =
+    "test_id,op,kind,static,time_s,tput_mbps,tech,rsrp_dbm,mcs,bler,ca,speed_mph,timezone,region,handovers";
+
+/// Write all throughput samples as CSV rows.
+pub fn write_tput_csv<W: Write>(db: &ConsolidatedDb, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for r in &db.records {
+        write_record_rows(r, &mut w)?;
+    }
+    Ok(())
+}
+
+fn write_record_rows<W: Write>(r: &TestRecord, w: &mut W) -> std::io::Result<()> {
+    for k in &r.kpi {
+        let Some(tput) = k.tput_mbps else { continue };
+        writeln!(
+            w,
+            "{},{},{},{},{:.3},{:.4},{},{:.1},{},{:.3},{},{:.1},{},{},{}",
+            r.id,
+            r.op.code(),
+            r.kind.label(),
+            u8::from(r.is_static),
+            k.time_s,
+            tput,
+            k.tech.label(),
+            k.rsrp_dbm,
+            k.mcs,
+            k.bler,
+            k.ca,
+            k.speed_mph(),
+            k.timezone.label(),
+            k.region.label(),
+            k.handovers_in_window,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::TestKind;
+    use crate::kpi::KpiSample;
+    use wheels_geo::region::RegionKind;
+    use wheels_geo::timezone::Timezone;
+    use wheels_netsim::server::ServerKind;
+    use wheels_radio::band::Technology;
+    use wheels_ran::cell::CellId;
+    use wheels_ran::operator::Operator;
+
+    fn tiny_db() -> ConsolidatedDb {
+        ConsolidatedDb {
+            records: vec![TestRecord {
+                id: 7,
+                op: Operator::TMobile,
+                kind: TestKind::ThroughputDl,
+                start_s: 0.0,
+                duration_s: 30.0,
+                server_kind: ServerKind::Cloud,
+                server_name: "EC2 Ohio".into(),
+                is_static: false,
+                start_odometer_m: 0.0,
+                end_odometer_m: 100.0,
+                timezone: Timezone::Central,
+                frac_hs5g: 0.5,
+                kpi: vec![KpiSample {
+                    time_s: 0.5,
+                    tput_mbps: Some(42.5),
+                    tech: Technology::Nr5gMid,
+                    cell: CellId(9),
+                    rsrp_dbm: -90.0,
+                    sinr_db: 15.0,
+                    mcs: 20,
+                    bler: 0.08,
+                    ca: 2,
+                    handovers_in_window: 0,
+                    speed_mps: 30.0,
+                    odometer_m: 10.0,
+                    region: RegionKind::Highway,
+                    timezone: Timezone::Central,
+                    in_handover: false,
+                }],
+                rtt_ms: vec![],
+                handovers: vec![],
+                app: None,
+            }],
+            passive: vec![],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = tiny_db();
+        let j = to_json(&db).unwrap();
+        let back = from_json(&j).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].kpi[0].mcs, 20);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let db = tiny_db();
+        let mut buf = Vec::new();
+        write_tput_csv(&db, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("7,T,DL,0,"));
+        assert!(lines[1].contains("5G-mid"));
+    }
+
+    #[test]
+    fn csv_skips_samples_without_throughput() {
+        let mut db = tiny_db();
+        db.records[0].kpi[0].tput_mbps = None;
+        let mut buf = Vec::new();
+        write_tput_csv(&db, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+}

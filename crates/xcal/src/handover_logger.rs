@@ -1,0 +1,161 @@
+//! The passive "handover-logger" phones.
+//!
+//! §3: three unrooted phones ran a custom Android app sending 38-byte ICMP
+//! pings every 200 ms (just enough to keep the radio awake) and logging
+//! GPS, cell IDs and cellular technology. §4.1's finding: this *passive*
+//! view is far more pessimistic than the XCAL view during backlogged tests,
+//! because operators do not elevate a UE to 5G under negligible traffic —
+//! the disparity shown in Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+use wheels_radio::band::Technology;
+use wheels_ran::cell::CellId;
+use wheels_ran::ue::LinkSnapshot;
+
+/// One passive-logger record.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PassiveSample {
+    /// Plan time, seconds.
+    pub time_s: f64,
+    /// Serving cell.
+    pub cell: CellId,
+    /// Serving technology as the Android API reports it.
+    pub tech: Technology,
+    /// Odometer, meters (derived from GPS during post-processing).
+    pub odometer_m: f64,
+    /// Speed, m/s.
+    pub speed_mps: f32,
+    /// Longitude, degrees (for map rendering à la Fig. 1).
+    pub lon: f32,
+}
+
+/// The full passive log of one operator across the trip.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PassiveLogger {
+    samples: Vec<PassiveSample>,
+}
+
+impl PassiveLogger {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one tick (typically 1 s cadence).
+    pub fn log(&mut self, s: &LinkSnapshot, lon: f64) {
+        self.samples.push(PassiveSample {
+            time_s: s.time_s,
+            cell: s.cell,
+            tech: s.tech,
+            odometer_m: s.odometer_m,
+            speed_mps: s.speed_mps as f32,
+            lon: lon as f32,
+        });
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[PassiveSample] {
+        &self.samples
+    }
+
+    /// Distance-weighted technology shares (fraction of miles on each
+    /// technology), matching how the paper computes coverage.
+    pub fn tech_shares(&self) -> [(Technology, f64); 5] {
+        let mut meters = [0.0f64; 5];
+        for w in self.samples.windows(2) {
+            let d = (w[1].odometer_m - w[0].odometer_m).max(0.0);
+            let i = Technology::ALL
+                .iter()
+                .position(|&t| t == w[0].tech)
+                .expect("known technology");
+            meters[i] += d;
+        }
+        let total: f64 = meters.iter().sum::<f64>().max(1e-9);
+        let mut out = [(Technology::Lte, 0.0); 5];
+        for (i, t) in Technology::ALL.iter().enumerate() {
+            out[i] = (*t, meters[i] / total);
+        }
+        out
+    }
+
+    /// Number of cell changes observed (the passive logger's proxy for
+    /// handovers — Table 1's handover counts come from these phones).
+    pub fn cell_changes(&self) -> usize {
+        self.samples
+            .windows(2)
+            .filter(|w| w[0].cell != w[1].cell)
+            .count()
+    }
+
+    /// Number of distinct cells seen.
+    pub fn unique_cells(&self) -> usize {
+        let mut cells: Vec<u32> = self.samples.iter().map(|s| s.cell.0).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_geo::region::RegionKind;
+    use wheels_geo::timezone::Timezone;
+
+    fn snap(t: f64, od: f64, cell: u32, tech: Technology) -> LinkSnapshot {
+        LinkSnapshot {
+            time_s: t,
+            odometer_m: od,
+            speed_mps: 20.0,
+            region: RegionKind::Highway,
+            timezone: Timezone::Central,
+            tech,
+            cell: CellId(cell),
+            outage: false,
+            rsrp_dbm: -100.0,
+            sinr_dl_db: 10.0,
+            sinr_ul_db: 8.0,
+            mcs_dl: 10,
+            mcs_ul: 8,
+            bler: 0.1,
+            ca_dl: 1,
+            ca_ul: 1,
+            cap_dl_mbps: 50.0,
+            cap_ul_mbps: 10.0,
+            in_handover: false,
+            handover: None,
+        }
+    }
+
+    #[test]
+    fn tech_shares_distance_weighted() {
+        let mut log = PassiveLogger::new();
+        // 1 km on LTE, 3 km on LTE-A.
+        log.log(&snap(0.0, 0.0, 1, Technology::Lte), -100.0);
+        log.log(&snap(60.0, 1_000.0, 2, Technology::LteA), -100.0);
+        log.log(&snap(240.0, 4_000.0, 2, Technology::LteA), -100.0);
+        let shares = log.tech_shares();
+        assert!((shares[0].1 - 0.25).abs() < 1e-9);
+        assert!((shares[1].1 - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_cell_changes_and_unique_cells() {
+        let mut log = PassiveLogger::new();
+        for (i, cell) in [1u32, 1, 2, 2, 3, 1].iter().enumerate() {
+            log.log(&snap(i as f64, i as f64 * 100.0, *cell, Technology::Lte), -100.0);
+        }
+        assert_eq!(log.cell_changes(), 3);
+        assert_eq!(log.unique_cells(), 3);
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = PassiveLogger::new();
+        assert_eq!(log.cell_changes(), 0);
+        assert_eq!(log.unique_cells(), 0);
+        let shares = log.tech_shares();
+        assert!(shares.iter().all(|(_, f)| *f == 0.0));
+    }
+}
