@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Everything runs --offline: the workspace vendors its
+# external dependencies under vendor/ (see Cargo.toml [patch.crates-io]).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests (root package) =="
+cargo test -q --offline
+
+echo "== tests (full workspace) =="
+cargo test -q --offline --workspace
+
+echo "== sequential vs parallel equivalence (2 seeds x jobs {1,2,4}) =="
+cargo test -q --offline --test parallel_equivalence
+
+echo "CI OK"

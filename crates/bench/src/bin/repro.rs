@@ -5,12 +5,16 @@
 //! cargo run --release -p wheels-bench --bin repro -- fig3 table2
 //! cargo run --release -p wheels-bench --bin repro -- --scale quarter all
 //! cargo run --release -p wheels-bench --bin repro -- --export dataset.json all
+//! cargo run --release -p wheels-bench --bin repro -- --jobs 4 all
 //! ```
+//!
+//! `--jobs N` runs the campaign's work units on N worker threads; the
+//! dataset (and every figure) is byte-identical to the sequential run.
 
 use std::io::Write;
 
 use wheels_analysis::figures as figs;
-use wheels_bench::{run_campaign, ReproScale, EXPERIMENTS};
+use wheels_bench::{run_campaign_jobs, ReproScale, EXPERIMENTS};
 use wheels_campaign::stats::Table1;
 use wheels_xcal::database::ConsolidatedDb;
 
@@ -18,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ReproScale::Full;
     let mut seed = 2026u64;
+    let mut jobs = 1usize;
     let mut export: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
@@ -45,6 +50,17 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive worker count");
+                        std::process::exit(2);
+                    });
+            }
             "--export" => {
                 i += 1;
                 export = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -58,15 +74,15 @@ fn main() {
         i += 1;
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--export FILE] <id...|all>");
+        eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] [--export FILE] <id...|all>");
         eprintln!("ids: {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
     wanted.dedup();
 
-    eprintln!("running campaign (scale {scale:?}, seed {seed})...");
+    eprintln!("running campaign (scale {scale:?}, seed {seed}, jobs {jobs})...");
     let t0 = std::time::Instant::now();
-    let (campaign, db) = run_campaign(scale, seed);
+    let (campaign, db) = run_campaign_jobs(scale, seed, jobs);
     eprintln!(
         "campaign done in {:.1?}: {} test records, {} KPI samples",
         t0.elapsed(),

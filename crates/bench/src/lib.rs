@@ -46,8 +46,15 @@ impl ReproScale {
 /// Run a campaign and return both the database and the campaign (for
 /// route/Table-1 context).
 pub fn run_campaign(scale: ReproScale, seed: u64) -> (Campaign, ConsolidatedDb) {
+    run_campaign_jobs(scale, seed, 1)
+}
+
+/// [`run_campaign`] on `jobs` worker threads. Output is byte-identical
+/// for every `jobs` value (see `tests/parallel_equivalence.rs`); only
+/// wall-clock time changes.
+pub fn run_campaign_jobs(scale: ReproScale, seed: u64, jobs: usize) -> (Campaign, ConsolidatedDb) {
     let campaign = Campaign::new(scale.config(seed));
-    let db = campaign.run();
+    let db = campaign.run_jobs(jobs);
     (campaign, db)
 }
 

@@ -1,0 +1,134 @@
+//! Deterministic parallel campaign execution.
+//!
+//! The campaign is split into independent [`WorkUnit`]s — one per
+//! `(operator, drive day)`, `(operator, static site)`, and passive-logger
+//! operator. Every random stream a unit consumes is derived from the
+//! campaign seed and the unit's key (see [`wheels_netsim::rng`]), so a
+//! unit's output is a pure function of `(config, unit)` and is identical
+//! whether units run on one thread or many. Workers pull unit indexes
+//! from a shared atomic counter (dynamic load balancing), write each
+//! [`Shard`] into its unit's slot, and [`merge_shards`] folds the slots
+//! back together in canonical unit order — which makes `run()` and
+//! `run_jobs(n)` byte-identical for every `n`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use wheels_ran::operator::Operator;
+use wheels_xcal::database::{ConsolidatedDb, TestRecord};
+use wheels_xcal::handover_logger::PassiveLogger;
+
+use crate::runner::Campaign;
+use crate::static_tests::static_sites;
+
+/// One independent slice of the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkUnit {
+    /// One operator's round-robin test cycles over one drive day.
+    Drive {
+        /// The phone's operator.
+        op: Operator,
+        /// Index into the drive plan's days.
+        day: usize,
+    },
+    /// One operator's static city baseline at one site.
+    Static {
+        /// The phone's operator.
+        op: Operator,
+        /// Route odometer of the site, meters.
+        site_od: f64,
+    },
+    /// One operator's all-day passive handover logger.
+    Passive {
+        /// The logger phone's operator.
+        op: Operator,
+    },
+}
+
+/// The output of one [`WorkUnit`]: records carry shard-local ids
+/// (`0..n` in generation order) until [`merge_shards`] reassigns them.
+#[derive(Debug, Default)]
+pub struct Shard {
+    /// Test records produced by the unit.
+    pub records: Vec<TestRecord>,
+    /// Passive logger output (passive units only).
+    pub passive: Option<(Operator, PassiveLogger)>,
+}
+
+impl Campaign {
+    /// The canonical unit schedule: drive units (operator-major,
+    /// day-minor), then static sites, then passive loggers. Merge order —
+    /// and therefore the exported dataset — is defined by this sequence,
+    /// never by worker completion order.
+    pub fn plan_units(&self) -> Vec<WorkUnit> {
+        let mut units = Vec::new();
+        for op in Operator::ALL {
+            for day in 0..self.plan.days().len() {
+                units.push(WorkUnit::Drive { op, day });
+            }
+        }
+        if self.cfg.run_static {
+            for op in Operator::ALL {
+                let db = self.db_for(op);
+                for (_city, site_od, _tech) in static_sites(&db, self.plan.route()) {
+                    units.push(WorkUnit::Static { op, site_od });
+                }
+            }
+        }
+        if self.cfg.run_passive {
+            for op in Operator::ALL {
+                units.push(WorkUnit::Passive { op });
+            }
+        }
+        units
+    }
+
+    /// Run `units`, returning one shard per unit in unit order.
+    ///
+    /// `jobs <= 1` runs inline on the caller's thread; otherwise a scoped
+    /// pool of `jobs` workers drains a shared index queue, so a slow unit
+    /// (a full drive day) never serializes the rest of the schedule.
+    pub(crate) fn execute_units(&self, units: &[WorkUnit], jobs: usize) -> Vec<Shard> {
+        if jobs <= 1 || units.len() <= 1 {
+            return units.iter().map(|u| self.run_unit(u)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Shard>>> =
+            units.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(units.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(i) else { break };
+                    *slots[i].lock() = Some(self.run_unit(unit));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every unit ran to completion"))
+            .collect()
+    }
+}
+
+/// Fold per-unit shards (in canonical unit order) into one database.
+///
+/// Records are stably sorted by start time — ties keep unit order, so the
+/// result is deterministic — and ids are reassigned `0..n` in final order.
+/// Passive logs keep their unit (operator) order.
+pub fn merge_shards(shards: Vec<Shard>) -> ConsolidatedDb {
+    let mut records: Vec<TestRecord> = Vec::with_capacity(shards.iter().map(|s| s.records.len()).sum());
+    let mut passive = Vec::new();
+    for shard in shards {
+        records.extend(shard.records);
+        if let Some(p) = shard.passive {
+            passive.push(p);
+        }
+    }
+    records.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("times are finite"));
+    for (i, r) in records.iter_mut().enumerate() {
+        r.id = i as u32;
+    }
+    ConsolidatedDb { records, passive }
+}

@@ -24,11 +24,13 @@
 
 pub mod config;
 pub mod driver;
+pub mod executor;
 pub mod ookla;
 pub mod runner;
 pub mod static_tests;
 pub mod stats;
 
 pub use config::CampaignConfig;
+pub use executor::{merge_shards, Shard, WorkUnit};
 pub use runner::Campaign;
 pub use stats::Table1;

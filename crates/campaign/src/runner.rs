@@ -28,9 +28,11 @@ use wheels_xcal::kpi::KpiSample;
 use wheels_xcal::logger::{XcalLog, XcalLogger};
 use wheels_xcal::sync::{AppLog, AppStampFormat};
 
+use wheels_netsim::rng;
+
 use crate::config::CampaignConfig;
 use crate::driver::{demand_for, tcp_base_rtt_s, AppLinkAdapter, LinkDriver};
-use crate::static_tests::static_sites;
+use crate::executor::{merge_shards, Shard, WorkUnit};
 
 /// Durations of the tests in one round-robin cycle, seconds.
 const TPUT_S: f64 = 30.0;
@@ -66,11 +68,15 @@ pub struct CampaignLogs {
 }
 
 /// The campaign: world construction + test execution.
+///
+/// All fields are immutable after construction (the cell databases sit
+/// behind `Arc`), so a `Campaign` is `Sync` and its work units can run on
+/// any number of worker threads — see [`crate::executor`].
 pub struct Campaign {
-    cfg: CampaignConfig,
-    plan: DrivePlan,
-    dbs: Vec<Arc<CellDb>>,
-    selector: ServerSelector,
+    pub(crate) cfg: CampaignConfig,
+    pub(crate) plan: DrivePlan,
+    pub(crate) dbs: Vec<Arc<CellDb>>,
+    pub(crate) selector: ServerSelector,
 }
 
 impl Campaign {
@@ -105,125 +111,34 @@ impl Campaign {
 
     /// Execute the campaign and return the consolidated database.
     pub fn run(&self) -> ConsolidatedDb {
-        self.run_inner(None)
+        self.run_jobs(1)
     }
 
-    /// Execute and also collect the raw XCAL/app logs for log-sync
+    /// Execute the campaign on `jobs` worker threads.
+    ///
+    /// The output is byte-identical to [`Campaign::run`] for every `jobs`
+    /// value: both paths run the same per-unit schedule with per-unit
+    /// derived RNG streams and merge shards in canonical unit order (see
+    /// `tests/parallel_equivalence.rs`).
+    pub fn run_jobs(&self, jobs: usize) -> ConsolidatedDb {
+        let units = self.plan_units();
+        let shards = self.execute_units(&units, jobs);
+        merge_shards(shards)
+    }
+
+    /// Execute and also reconstruct the raw XCAL/app logs for log-sync
     /// verification (costs extra memory; use at reduced scale).
     pub fn run_with_logs(&self) -> (ConsolidatedDb, CampaignLogs) {
-        let mut logs = CampaignLogs::default();
-        let db = self.run_inner(Some(&mut logs));
+        let db = self.run();
+        let logs = self.build_logs(&db);
         (db, logs)
     }
 
-    fn run_inner(&self, mut logs: Option<&mut CampaignLogs>) -> ConsolidatedDb {
-        let mut records: Vec<TestRecord> = Vec::new();
-        let mut next_id: u32 = 0;
-
-        for op in Operator::ALL {
-            let mut phone = Phone::new(
-                op,
-                self.db_for(op),
-                UeParams::default(),
-                self.cfg.seed ^ ((op as u64 + 1) * 0x1234_5678),
-            );
-            // The three phones sit in the same vehicle and run the same
-            // round-robin simultaneously (§3), so the cycle-skip decision
-            // must NOT depend on the operator — Fig. 6 compares operators
-            // on concurrently collected samples.
-            let mut cycle_rng = SmallRng::seed_from_u64(self.cfg.seed ^ 0x9E37_79B9);
-            let cycle_len = self.cycle_duration_s();
-            for day in self.plan.days() {
-                let mut t = day.start_time_s as f64 + 60.0;
-                while t + cycle_len < day.end_time_s as f64 {
-                    if cycle_rng.gen::<f64>() < self.cfg.scale {
-                        t = self.run_cycle(&mut phone, t, None, &mut records, &mut next_id, &mut logs);
-                    } else {
-                        t += cycle_len;
-                    }
-                }
-            }
-        }
-
-        if self.cfg.run_static {
-            self.run_static_suite(&mut records, &mut next_id, &mut logs);
-        }
-
-        let passive = if self.cfg.run_passive {
-            Operator::ALL
-                .iter()
-                .map(|&op| (op, self.run_passive(op)))
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        records.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("times are finite"));
-        ConsolidatedDb { records, passive }
-    }
-
-    /// Length of one full round-robin cycle including gaps, seconds.
-    pub fn cycle_duration_s(&self) -> f64 {
-        let g = self.cfg.gap_s;
-        let net = TPUT_S + g + TPUT_S + g + RTT_S + g;
-        if self.cfg.run_apps {
-            net + 4.0 * (APP_OFFLOAD_S + g) + VIDEO_S + g + GAME_S + g
-        } else {
-            net
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_cycle(
-        &self,
-        phone: &mut Phone,
-        t0: f64,
-        static_od: Option<f64>,
-        records: &mut Vec<TestRecord>,
-        next_id: &mut u32,
-        logs: &mut Option<&mut CampaignLogs>,
-    ) -> f64 {
-        let g = self.cfg.gap_s;
-        let mut t = t0;
-        for dir in Direction::BOTH {
-            let r = self.run_tput(phone, *next_id, t, dir, static_od);
-            t = r.start_s + r.duration_s + g;
-            self.push(records, next_id, r, logs);
-        }
-        let r = self.run_rtt(phone, *next_id, t, static_od);
-        t = r.start_s + r.duration_s + g;
-        self.push(records, next_id, r, logs);
-        if self.cfg.run_apps {
-            for (kind, compressed) in [
-                (TestKind::AppAr, true),
-                (TestKind::AppAr, false),
-                (TestKind::AppCav, true),
-                (TestKind::AppCav, false),
-            ] {
-                let r = self.run_offload_app(phone, *next_id, t, kind, compressed, static_od);
-                t = r.start_s + r.duration_s + g;
-                self.push(records, next_id, r, logs);
-            }
-            let r = self.run_video(phone, *next_id, t, static_od);
-            t = r.start_s + r.duration_s + g;
-            self.push(records, next_id, r, logs);
-            let r = self.run_gaming(phone, *next_id, t, static_od);
-            t = r.start_s + r.duration_s + g;
-            self.push(records, next_id, r, logs);
-        }
-        t
-    }
-
-    fn push(
-        &self,
-        records: &mut Vec<TestRecord>,
-        next_id: &mut u32,
-        record: TestRecord,
-        logs: &mut Option<&mut CampaignLogs>,
-    ) {
-        if let Some(logs) = logs.as_deref_mut() {
-            // Reconstruct what the two logging sides would have produced,
-            // for sync verification.
+    /// Reconstruct what the two logging sides would have produced for
+    /// each record, in final (merged) record order.
+    fn build_logs(&self, db: &ConsolidatedDb) -> CampaignLogs {
+        let mut logs = CampaignLogs::default();
+        for record in &db.records {
             let mut xl = XcalLogger::start(record.op, record.kind.label(), record.start_s);
             for k in &record.kpi {
                 xl.log_sample(*k);
@@ -245,6 +160,107 @@ impl Campaign {
                 fmt,
             ));
         }
+        logs
+    }
+
+    /// Run one work unit to a shard. Deterministic in `(config, unit)`:
+    /// every stream is derived from the campaign seed and the unit key.
+    pub(crate) fn run_unit(&self, unit: &WorkUnit) -> Shard {
+        match *unit {
+            WorkUnit::Drive { op, day } => self.run_drive_day(op, day),
+            WorkUnit::Static { op, site_od } => self.run_static_site(op, site_od),
+            WorkUnit::Passive { op } => Shard {
+                records: Vec::new(),
+                passive: Some((op, self.run_passive(op))),
+            },
+        }
+    }
+
+    /// One operator's round-robin cycles over one drive day.
+    fn run_drive_day(&self, op: Operator, day_idx: usize) -> Shard {
+        let mut records = Vec::new();
+        let mut next_id: u32 = 0;
+        let mut phone = Phone::new(
+            op,
+            self.db_for(op),
+            UeParams::default(),
+            rng::derive_seed(self.cfg.seed, rng::DOMAIN_PHONE, &[op as u64, day_idx as u64]),
+        );
+        // The three phones sit in the same vehicle and run the same
+        // round-robin simultaneously (§3), so the cycle-skip stream is
+        // keyed by day only, NOT by operator — Fig. 6 compares operators
+        // on concurrently collected samples, and all three Drive units of
+        // a day replay the identical skip sequence.
+        let mut cycle_rng = rng::stream(self.cfg.seed, rng::DOMAIN_CYCLE, &[day_idx as u64]);
+        let cycle_len = self.cycle_duration_s();
+        let day = &self.plan.days()[day_idx];
+        let mut t = day.start_time_s as f64 + 60.0;
+        while t + cycle_len < day.end_time_s as f64 {
+            if cycle_rng.gen::<f64>() < self.cfg.scale {
+                t = self.run_cycle(&mut phone, t, None, &mut records, &mut next_id);
+            } else {
+                t += cycle_len;
+            }
+        }
+        Shard {
+            records,
+            passive: None,
+        }
+    }
+
+    /// Length of one full round-robin cycle including gaps, seconds.
+    pub fn cycle_duration_s(&self) -> f64 {
+        let g = self.cfg.gap_s;
+        let net = TPUT_S + g + TPUT_S + g + RTT_S + g;
+        if self.cfg.run_apps {
+            net + 4.0 * (APP_OFFLOAD_S + g) + VIDEO_S + g + GAME_S + g
+        } else {
+            net
+        }
+    }
+
+    fn run_cycle(
+        &self,
+        phone: &mut Phone,
+        t0: f64,
+        static_od: Option<f64>,
+        records: &mut Vec<TestRecord>,
+        next_id: &mut u32,
+    ) -> f64 {
+        let g = self.cfg.gap_s;
+        let mut t = t0;
+        for dir in Direction::BOTH {
+            let r = self.run_tput(phone, *next_id, t, dir, static_od);
+            t = r.start_s + r.duration_s + g;
+            self.push(records, next_id, r);
+        }
+        let r = self.run_rtt(phone, *next_id, t, static_od);
+        t = r.start_s + r.duration_s + g;
+        self.push(records, next_id, r);
+        if self.cfg.run_apps {
+            for (kind, compressed) in [
+                (TestKind::AppAr, true),
+                (TestKind::AppAr, false),
+                (TestKind::AppCav, true),
+                (TestKind::AppCav, false),
+            ] {
+                let r = self.run_offload_app(phone, *next_id, t, kind, compressed, static_od);
+                t = r.start_s + r.duration_s + g;
+                self.push(records, next_id, r);
+            }
+            let r = self.run_video(phone, *next_id, t, static_od);
+            t = r.start_s + r.duration_s + g;
+            self.push(records, next_id, r);
+            let r = self.run_gaming(phone, *next_id, t, static_od);
+            t = r.start_s + r.duration_s + g;
+            self.push(records, next_id, r);
+        }
+        t
+    }
+
+    /// Append a record under the next shard-local id (final ids are
+    /// reassigned at merge time).
+    fn push(&self, records: &mut Vec<TestRecord>, next_id: &mut u32, record: TestRecord) {
         records.push(record);
         *next_id += 1;
     }
@@ -534,74 +550,69 @@ impl Campaign {
         }
     }
 
-    /// Static city baselines for every operator.
-    fn run_static_suite(
-        &self,
-        records: &mut Vec<TestRecord>,
-        next_id: &mut u32,
-        logs: &mut Option<&mut CampaignLogs>,
-    ) {
-        for op in Operator::ALL {
-            let db = self.db_for(op);
-            for (city, site_od, _tech) in static_sites(&db, self.plan.route()) {
-                // Test while passing/parked near the city; retries get
-                // fresh UEs (walking around looking for the beam, as the
-                // authors did).
-                let t_base = self
-                    .plan
-                    .time_at_odometer(site_od)
-                    .unwrap_or(self.plan.days()[0].start_time_s as f64);
-                let mut accepted = false;
-                for attempt in 0..3u64 {
-                    let seed = self.cfg.seed
-                        ^ ((op as u64 + 1) * 0xABCD)
-                        ^ (site_od as u64)
-                        ^ (attempt << 32);
-                    let mut phone = Phone::new(
-                        op,
-                        Arc::clone(&db),
-                        UeParams {
-                            load: LoadParams::static_urban(),
-                            clutter_scale: 0.25,
-                            ..Default::default()
-                        },
-                        seed,
-                    );
-                    // Probe run to check the operator actually elevates us.
-                    let probe = self.run_tput(&mut phone, *next_id, t_base, Direction::Downlink, Some(site_od));
-                    if probe.frac_hs5g < 0.6 {
-                        continue;
-                    }
-                    self.push(records, next_id, probe, logs);
-                    let mut t = t_base + TPUT_S + self.cfg.gap_s;
-                    let r = self.run_tput(&mut phone, *next_id, t, Direction::Uplink, Some(site_od));
-                    t = r.start_s + r.duration_s + self.cfg.gap_s;
-                    self.push(records, next_id, r, logs);
-                    let r = self.run_rtt(&mut phone, *next_id, t, Some(site_od));
-                    t = r.start_s + r.duration_s + self.cfg.gap_s;
-                    self.push(records, next_id, r, logs);
-                    if self.cfg.run_apps {
-                        for (kind, compressed) in [
-                            (TestKind::AppAr, true),
-                            (TestKind::AppAr, false),
-                            (TestKind::AppCav, true),
-                            (TestKind::AppCav, false),
-                        ] {
-                            let r = self.run_offload_app(&mut phone, *next_id, t, kind, compressed, Some(site_od));
-                            t = r.start_s + r.duration_s + self.cfg.gap_s;
-                            self.push(records, next_id, r, logs);
-                        }
-                        let r = self.run_video(&mut phone, *next_id, t, Some(site_od));
-                        t = r.start_s + r.duration_s + self.cfg.gap_s;
-                        self.push(records, next_id, r, logs);
-                        let r = self.run_gaming(&mut phone, *next_id, t, Some(site_od));
-                        self.push(records, next_id, r, logs);
-                    }
-                    accepted = true;
-                    break;
-                }
-                let _ = (accepted, city);
+    /// One operator's static baseline at one city site. Retries get
+    /// fresh UEs (walking around looking for the beam, as the authors
+    /// did); each attempt's streams are keyed by `(op, site, attempt)`.
+    fn run_static_site(&self, op: Operator, site_od: f64) -> Shard {
+        let db = self.db_for(op);
+        let mut records = Vec::new();
+        let mut next_id: u32 = 0;
+        // Test while passing/parked near the city.
+        let t_base = self
+            .plan
+            .time_at_odometer(site_od)
+            .unwrap_or(self.plan.days()[0].start_time_s as f64);
+        for attempt in 0..3u64 {
+            let seed = rng::derive_seed(
+                self.cfg.seed,
+                rng::DOMAIN_STATIC,
+                &[op as u64, site_od as u64, attempt],
+            );
+            let mut phone = Phone::new(
+                op,
+                Arc::clone(&db),
+                UeParams {
+                    load: LoadParams::static_urban(),
+                    clutter_scale: 0.25,
+                    ..Default::default()
+                },
+                seed,
+            );
+            // Probe run to check the operator actually elevates us.
+            let probe = self.run_tput(&mut phone, next_id, t_base, Direction::Downlink, Some(site_od));
+            if probe.frac_hs5g < 0.6 {
+                continue;
             }
+            self.push(&mut records, &mut next_id, probe);
+            let mut t = t_base + TPUT_S + self.cfg.gap_s;
+            let r = self.run_tput(&mut phone, next_id, t, Direction::Uplink, Some(site_od));
+            t = r.start_s + r.duration_s + self.cfg.gap_s;
+            self.push(&mut records, &mut next_id, r);
+            let r = self.run_rtt(&mut phone, next_id, t, Some(site_od));
+            t = r.start_s + r.duration_s + self.cfg.gap_s;
+            self.push(&mut records, &mut next_id, r);
+            if self.cfg.run_apps {
+                for (kind, compressed) in [
+                    (TestKind::AppAr, true),
+                    (TestKind::AppAr, false),
+                    (TestKind::AppCav, true),
+                    (TestKind::AppCav, false),
+                ] {
+                    let r = self.run_offload_app(&mut phone, next_id, t, kind, compressed, Some(site_od));
+                    t = r.start_s + r.duration_s + self.cfg.gap_s;
+                    self.push(&mut records, &mut next_id, r);
+                }
+                let r = self.run_video(&mut phone, next_id, t, Some(site_od));
+                t = r.start_s + r.duration_s + self.cfg.gap_s;
+                self.push(&mut records, &mut next_id, r);
+                let r = self.run_gaming(&mut phone, next_id, t, Some(site_od));
+                self.push(&mut records, &mut next_id, r);
+            }
+            break;
+        }
+        Shard {
+            records,
+            passive: None,
         }
     }
 
@@ -611,7 +622,7 @@ impl Campaign {
             op,
             self.db_for(op),
             UeParams::default(),
-            self.cfg.seed ^ ((op as u64 + 1) * 0xFACE),
+            rng::derive_seed(self.cfg.seed, rng::DOMAIN_PASSIVE, &[op as u64]),
         );
         let mut log = PassiveLogger::new();
         for day in self.plan.days() {

@@ -28,6 +28,7 @@ pub mod event;
 pub mod mptcp;
 pub mod ping;
 pub mod reno;
+pub mod rng;
 pub mod rtt;
 pub mod server;
 pub mod tcp;

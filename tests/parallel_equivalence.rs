@@ -1,0 +1,67 @@
+//! The parallel executor's core guarantee: `run_jobs(n)` produces a
+//! byte-identical exported dataset for every worker count, at every seed.
+//!
+//! Work units derive their RNG streams from `(campaign_seed, unit key)`
+//! and shards merge in canonical unit order, so thread count and
+//! completion order must not leak into the output. These tests prove it
+//! on the exported JSON — the strongest equality the dataset has.
+
+use wheels_campaign::{Campaign, CampaignConfig};
+use wheels_xcal::export::to_json;
+
+/// A miniature campaign exercising every unit kind: drive cycles,
+/// static city baselines, and passive loggers.
+fn mini(seed: u64) -> Campaign {
+    let mut cfg = CampaignConfig::quick_network_only(seed);
+    cfg.scale = 0.004;
+    cfg.passive_tick_s = 120.0;
+    Campaign::new(cfg)
+}
+
+#[test]
+fn sequential_equals_parallel_at_every_worker_count() {
+    for seed in [11, 42] {
+        let campaign = mini(seed);
+        let baseline = to_json(&campaign.run()).expect("export");
+        assert!(!baseline.is_empty());
+        for jobs in [1, 2, 4] {
+            let parallel = to_json(&campaign.run_jobs(jobs)).expect("export");
+            assert_eq!(
+                baseline, parallel,
+                "seed {seed}: jobs={jobs} diverged from sequential run"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_covers_every_unit_kind() {
+    let campaign = mini(11);
+    let db = campaign.run_jobs(4);
+    assert!(db.records.iter().any(|r| !r.is_static), "no drive records");
+    assert!(db.records.iter().any(|r| r.is_static), "no static records");
+    assert_eq!(db.passive.len(), 3, "one passive log per operator");
+}
+
+#[test]
+fn merged_ids_are_strictly_increasing_and_time_sorted() {
+    let db = mini(42).run_jobs(2);
+    for (i, r) in db.records.iter().enumerate() {
+        assert_eq!(r.id, i as u32, "ids are 0..n in final order");
+    }
+    for pair in db.records.windows(2) {
+        assert!(
+            pair[0].start_s <= pair[1].start_s,
+            "records sorted by start time"
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_workers_are_harmless() {
+    // More workers than units: extra workers find the queue drained.
+    let campaign = mini(42);
+    let a = to_json(&campaign.run_jobs(64)).expect("export");
+    let b = to_json(&campaign.run()).expect("export");
+    assert_eq!(a, b);
+}

@@ -11,10 +11,65 @@ use wheels::geo::timezone::Timezone;
 use wheels::netsim::cubic::Cubic;
 use wheels::netsim::tcp::{CongestionControl, FluidTcp, MSS};
 use wheels::radio::mcs::{mcs_from_sinr, spectral_efficiency, MAX_MCS};
+use wheels::netsim::rng::{derive_seed, stream, DOMAIN_CYCLE, DOMAIN_PASSIVE, DOMAIN_PHONE, DOMAIN_STATIC};
 use wheels::ran::handover::A3Tracker;
 use wheels::xcal::timestamp::Timestamp;
 
 proptest! {
+    #[test]
+    fn rng_streams_never_collide_across_unit_keys(campaign_seed in 0u64..u64::MAX) {
+        // Every (domain, operator, day) work-unit key must map to its own
+        // stream: a collision would make two units consume correlated
+        // randomness and silently couple "independent" measurements.
+        let mut seen = std::collections::HashSet::new();
+        for domain in [DOMAIN_PHONE, DOMAIN_CYCLE, DOMAIN_STATIC, DOMAIN_PASSIVE] {
+            for op in 0u64..3 {
+                for day in 0u64..8 {
+                    prop_assert!(
+                        seen.insert(derive_seed(campaign_seed, domain, &[op, day])),
+                        "stream collision at domain {domain:#x} op {op} day {day}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rng_seed_perturbation_changes_every_stream(
+        campaign_seed in 0u64..u64::MAX, bit in 0u32..64
+    ) {
+        // Flipping any single bit of the campaign seed must reroute every
+        // derived stream — otherwise two campaigns could share a unit.
+        let other = campaign_seed ^ (1u64 << bit);
+        for op in 0u64..3 {
+            for day in 0u64..8 {
+                prop_assert_ne!(
+                    derive_seed(campaign_seed, DOMAIN_PHONE, &[op, day]),
+                    derive_seed(other, DOMAIN_PHONE, &[op, day]),
+                    "op {} day {} stream unchanged under seed flip", op, day
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rng_stream_is_pure_and_key_order_sensitive(
+        campaign_seed in 0u64..u64::MAX, a in 0u64..1000, b in 0u64..1000
+    ) {
+        use rand::RngCore;
+        let mut x = stream(campaign_seed, DOMAIN_PHONE, &[a, b]);
+        let mut y = stream(campaign_seed, DOMAIN_PHONE, &[a, b]);
+        for _ in 0..16 {
+            prop_assert_eq!(x.next_u64(), y.next_u64());
+        }
+        if a != b {
+            prop_assert_ne!(
+                derive_seed(campaign_seed, DOMAIN_PHONE, &[a, b]),
+                derive_seed(campaign_seed, DOMAIN_PHONE, &[b, a]),
+                "key words must not commute"
+            );
+        }
+    }
     #[test]
     fn haversine_is_a_metric(
         lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API slice the bench crate uses — `Criterion`,
+//! `benchmark_group`/`sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with the same CLI contract
+//! as the real harness: `cargo bench` passes `--bench`, which enables timed
+//! runs (adaptive batch sizing to ~5 ms per sample, median-of-samples
+//! report); `cargo test` runs each benchmark body exactly once as a smoke
+//! test. A positional argument filters benchmarks by substring.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if a.starts_with('-') => {} // ignore harness flags we don't model
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { bench_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one benchmark under the default sample count.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Start a named group whose benchmarks share settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    fn run<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            sample_size,
+            median_s: None,
+        };
+        f(&mut b);
+        match b.median_s {
+            Some(t) if self.bench_mode => println!("{name:<40} {}", fmt_time(t)),
+            _ => println!("{name:<40} ok (smoke)"),
+        }
+    }
+}
+
+/// Benchmark group mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run(&full, sample_size, f);
+        self
+    }
+
+    /// End the group (report output is already flushed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    median_s: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, or run it once when in smoke-test mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate a batch size that runs ~5 ms so per-iteration noise and
+        // timer granularity wash out, then collect `sample_size` samples.
+        let target = Duration::from_millis(5);
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if t0.elapsed() >= target || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.median_s = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_times_and_filters() {
+        let mut c = Criterion {
+            bench_mode: true,
+            filter: Some("hit".into()),
+        };
+        let mut miss_runs = 0u64;
+        c.bench_function("other", |b| b.iter(|| miss_runs += 1));
+        assert_eq!(miss_runs, 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("hit", |b| b.iter(|| black_box(2u64.pow(10))));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

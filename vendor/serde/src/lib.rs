@@ -1,0 +1,393 @@
+//! Offline stand-in for `serde` (+ re-exported derive macros).
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the serialization surface it uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, and `serde_json`'s
+//! `to_string` / `to_string_pretty` / `from_str`.
+//!
+//! Unlike real serde there is no visitor architecture: [`Serialize`]
+//! lowers a value into a JSON [`Value`] tree and [`Deserialize`] lifts it
+//! back. Field order is the declaration order (deterministic — the
+//! campaign's byte-identical-export guarantee rests on this), enums use
+//! serde's externally-tagged convention, and parsed numbers keep their raw
+//! token so float round-trips are exact in both directions.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, remembering how it was produced.
+///
+/// Values built in-process keep their native Rust type so the writer can
+/// use that type's shortest round-trip `Display`; values produced by the
+/// parser keep the raw token so re-serialization is byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Num {
+    /// Built from an `f64`.
+    F64(f64),
+    /// Built from an `f32`.
+    F32(f32),
+    /// Built from an unsigned integer.
+    U64(u64),
+    /// Built from a signed integer.
+    I64(i64),
+    /// Parsed from text; the raw JSON token.
+    Raw(String),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A new error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower a value into the JSON data model.
+pub trait Serialize {
+    /// The JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Lift a value out of the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- serialize
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Num::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Num::F32(*self))
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Num::U64(*self as u64)) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Num::I64(*self as i64)) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// -------------------------------------------------------------- deserialize
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(type_err("string", other)),
+        }
+    }
+}
+
+fn num_of(v: &Value, what: &str) -> Result<Num, Error> {
+    match v {
+        Value::Num(n) => Ok(n.clone()),
+        other => Err(type_err(what, other)),
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match num_of(v, "f64")? {
+            Num::F64(x) => Ok(x),
+            Num::F32(x) => Ok(x as f64),
+            Num::U64(x) => Ok(x as f64),
+            Num::I64(x) => Ok(x as f64),
+            Num::Raw(s) => s.parse().map_err(|_| Error::msg(format!("bad f64: {s}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match num_of(v, "f32")? {
+            Num::F64(x) => Ok(x as f32),
+            Num::F32(x) => Ok(x),
+            Num::U64(x) => Ok(x as f32),
+            Num::I64(x) => Ok(x as f32),
+            // Parse the token directly as f32: correctly rounded, so the
+            // shortest-f32 representation the writer emitted round-trips
+            // exactly (no double rounding through f64).
+            Num::Raw(s) => s.parse().map_err(|_| Error::msg(format!("bad f32: {s}"))),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match num_of(v, stringify!($t))? {
+                    Num::U64(x) => x as i128,
+                    Num::I64(x) => x as i128,
+                    Num::F64(x) if x.fract() == 0.0 => x as i128,
+                    Num::F32(x) if x.fract() == 0.0 => x as i128,
+                    Num::Raw(s) => s
+                        .parse::<i128>()
+                        .map_err(|_| Error::msg(format!("bad integer: {s}")))?,
+                    other => return Err(Error::msg(format!(
+                        "expected {}, got non-integral {other:?}", stringify!($t)
+                    ))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(type_err("array", other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(type_err(concat!("array of ", $len), other)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    Error::msg(format!("expected {expected}, got {kind}"))
+}
+
+/// Helpers used by the generated derive code. Not part of the public API
+/// contract; the derive macros are versioned together with this crate.
+pub mod de {
+    use super::{Deserialize, Error, Value};
+
+    /// Look up field `name` in an object value and deserialize it.
+    /// Missing fields deserialize from `null` (so `Option` fields tolerate
+    /// their absence, as with serde's default behaviour for `null`).
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(pairs) => {
+                let slot = pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                T::from_value(slot.unwrap_or(&Value::Null))
+                    .map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
+            }
+            other => Err(super::type_err("object", other)),
+        }
+    }
+
+    /// Element `i` of an array value (tuple structs / tuple variants).
+    pub fn elem<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+        match v {
+            Value::Array(items) => {
+                let slot = items
+                    .get(i)
+                    .ok_or_else(|| Error::msg(format!("missing tuple element {i}")))?;
+                T::from_value(slot).map_err(|e| Error::msg(format!("element {i}: {}", e.0)))
+            }
+            other => Err(super::type_err("array", other)),
+        }
+    }
+
+    /// Decode an externally-tagged enum value: a bare string is a unit
+    /// variant; a single-key object is a data-carrying variant.
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                Ok((pairs[0].0.as_str(), Some(&pairs[0].1)))
+            }
+            other => Err(super::type_err("enum (string or 1-key object)", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(
+            Option::<f32>::from_value(&Option::<f32>::None.to_value()).unwrap(),
+            None
+        );
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()).unwrap(), v);
+        let t = (3u32, "x".to_string());
+        assert_eq!(
+            <(u32, String)>::from_value(&t.to_value()).unwrap(),
+            (3, "x".to_string())
+        );
+    }
+
+    #[test]
+    fn raw_numbers_parse_directly() {
+        let v = Value::Num(Num::Raw("0.1".into()));
+        assert_eq!(f32::from_value(&v).unwrap(), 0.1f32);
+        assert_eq!(f64::from_value(&v).unwrap(), 0.1f64);
+        let i = Value::Num(Num::Raw("-42".into()));
+        assert_eq!(i32::from_value(&i).unwrap(), -42);
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no
+//! `syn`/`quote` (the registry is unreachable, so the macro parses the
+//! item's `TokenStream` directly). Supports exactly what this workspace
+//! declares: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like — serde's externally-tagged
+//! representation. Unsupported shapes (generics, unions) panic at compile
+//! time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => gen_struct_ser(name, fields),
+        Item::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    out.parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => gen_struct_de(name, fields),
+        Item::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    out.parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = ident_at(&tokens, i).expect("serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i).expect("serde_derive: expected item name");
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported ({name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: enum {name} without a body"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive (vendored): cannot derive for `{other}` items"),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-fields body: `a: T, b: U<V, W>, ...`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i)
+            .unwrap_or_else(|| panic!("serde_derive: expected field name, got {:?}", tokens[i]));
+        names.push(name);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    names
+}
+
+/// Advance past one type, stopping after the field-separating comma (or at
+/// end of input). Commas nested in `<...>` or delimiter groups don't count.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple body: `pub u32, (A, B)` etc.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    for (k, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                // A trailing comma doesn't start a new field.
+                ',' if angle == 0 && k + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i)
+            .unwrap_or_else(|| panic!("serde_derive: expected variant name, got {:?}", tokens[i]));
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive (vendored): explicit discriminants are not supported");
+        }
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn obj_pair(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn object_of(pairs: &[String]) -> String {
+    if pairs.is_empty() {
+        "::serde::Value::Object(::std::vec::Vec::new())".to_string()
+    } else {
+        format!(
+            "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+            pairs.join(", ")
+        )
+    }
+}
+
+fn array_of(items: &[String]) -> String {
+    if items.is_empty() {
+        "::serde::Value::Array(::std::vec::Vec::new())".to_string()
+    } else {
+        format!(
+            "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+            items.join(", ")
+        )
+    }
+}
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| obj_pair(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            object_of(&pairs)
+        }
+        // One-field tuple structs are newtypes: serialize transparently.
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            array_of(&items)
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::de::elem(v, {k})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let pairs: Vec<String> = fs
+                    .iter()
+                    .map(|f| obj_pair(f, &format!("::serde::Serialize::to_value({f})")))
+                    .collect();
+                let payload = object_of(&pairs);
+                let tagged = object_of(&[obj_pair(v, &payload)]);
+                format!("{name}::{v} {{ {binds} }} => {tagged},")
+            }
+            Fields::Tuple(1) => {
+                let tagged = object_of(&[obj_pair(v, "::serde::Serialize::to_value(f0)")]);
+                format!("{name}::{v}(f0) => {tagged},")
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                let tagged = object_of(&[obj_pair(v, &array_of(&items))]);
+                format!("{name}::{v}({}) => {tagged},", binds.join(", "))
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => {
+                format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(p, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     let p = payload.ok_or_else(|| ::serde::Error::msg(\"variant {v} needs data\"))?;\n\
+                     ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "\"{v}\" => {{\n\
+                 let p = payload.ok_or_else(|| ::serde::Error::msg(\"variant {v} needs data\"))?;\n\
+                 ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(p)?))\n\
+                 }}"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::de::elem(p, {k})?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                     let p = payload.ok_or_else(|| ::serde::Error::msg(\"variant {v} needs data\"))?;\n\
+                     ::std::result::Result::Ok({name}::{v}({}))\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let (variant, payload) = ::serde::de::variant(v)?;\n\
+         let _ = &payload;\n\
+         match variant {{\n{}\n\
+         other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+             \"unknown {name} variant: {{other}}\"\n\
+         ))),\n\
+         }}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}

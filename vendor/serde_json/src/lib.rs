@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Deterministic JSON writer (compact and 2-space pretty forms, matching
+//! serde_json's layout) and a recursive-descent parser, both over the
+//! vendored `serde` [`Value`] model. Number tokens parsed from text are
+//! kept verbatim ([`serde::Num::Raw`]) so parse→serialize is byte-stable,
+//! and native floats are written with Rust's shortest round-trip `Display`
+//! so serialize→parse is value-exact. The campaign's byte-identical
+//! export guarantee (sequential == parallel) is tested against this
+//! writer's output.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Error;
+use serde::{Deserialize, Num, Serialize, Value};
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON (`{"a":1,"b":[2,3]}`).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (2-space indent, serde_json layout).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser { bytes: s.as_bytes(), i: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.i != p.bytes.len() {
+        return Err(Error::msg(format!("trailing input at byte {}", p.i)));
+    }
+    T::from_value(&v)
+}
+
+// ------------------------------------------------------------------- writer
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_num(n, out),
+        Value::Str(s) => write_str(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (key, item)) in pairs.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_str(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_num(n: &Num, out: &mut String) {
+    match n {
+        // Non-finite floats have no JSON form; serde_json errors, we emit
+        // null (the simulation never produces them).
+        Num::F64(x) if !x.is_finite() => out.push_str("null"),
+        Num::F32(x) if !x.is_finite() => out.push_str("null"),
+        Num::F64(x) => out.push_str(&fmt_float(*x)),
+        Num::F32(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{:.1}", x));
+            } else {
+                out.push_str(&format!("{}", x));
+            }
+        }
+        Num::U64(x) => out.push_str(&x.to_string()),
+        Num::I64(x) => out.push_str(&x.to_string()),
+        Num::Raw(s) => out.push_str(s),
+    }
+}
+
+/// serde_json writes integral floats as `1.0`, not `1`; keep that so the
+/// number's float-ness survives a round-trip.
+fn fmt_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{}", x)
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------- parser
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.i) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("bad literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::msg("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {other:?} at byte {}",
+                self.i
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|_| Error::msg("non-utf8 number"))?;
+        if tok.is_empty() || tok == "-" || tok.parse::<f64>().is_err() {
+            return Err(Error::msg(format!("bad number at byte {start}")));
+        }
+        Ok(Value::Num(Num::Raw(tok.to_string())))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            // Find the next byte of interest, copying UTF-8 through.
+            let start = self.i;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.i += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.i])
+                    .map_err(|_| Error::msg("non-utf8 string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            if self.i + 4 > self.bytes.len() {
+                                return Err(Error::msg("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.i..self.i + 4])
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 3; // the final +1 below completes the 4
+                        }
+                        other => {
+                            return Err(Error::msg(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.i += 1;
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Num(Num::U64(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Num(Num::F64(2.0)), Value::Null]),
+            ),
+        ]);
+        let mut c = String::new();
+        write_value(&v, None, 0, &mut c);
+        assert_eq!(c, "{\"a\":1,\"b\":[2.0,null]}");
+        let mut p = String::new();
+        write_value(&v, Some(2), 0, &mut p);
+        assert_eq!(p, "{\n  \"a\": 1,\n  \"b\": [\n    2.0,\n    null\n  ]\n}");
+    }
+
+    #[test]
+    fn parse_roundtrip_is_byte_stable() {
+        let text = "{\"x\":-1.25e3,\"y\":[true,false,\"a\\nb\"],\"z\":null}";
+        let v: Value = {
+            let mut p = Parser { bytes: text.as_bytes(), i: 0 };
+            p.value(0).unwrap()
+        };
+        let mut out = String::new();
+        write_value(&v, None, 0, &mut out);
+        assert_eq!(out, text);
+    }
+
+    #[test]
+    fn float_display_roundtrips() {
+        for x in [0.1f64, 1.0, -3.5e-9, 123456.789, 1e15, 0.30000000000000004] {
+            let s = fmt_float(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<f64>("1.2.3").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}
