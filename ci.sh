@@ -16,4 +16,22 @@ cargo test -q --offline --workspace
 echo "== sequential vs parallel equivalence (2 seeds x jobs {1,2,4}) =="
 cargo test -q --offline --test parallel_equivalence
 
+echo "== fault-injection equivalence (harsh profile, jobs 1 vs 4, 2 seeds) =="
+# Determinism must survive injected apparatus faults: the exported dataset
+# AND the per-unit integrity report are byte-identical at every job count,
+# and the harsh profile must actually degrade at least one unit.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for seed in 11 42; do
+  ./target/release/repro --scale smoke --seed "$seed" --fault-profile harsh \
+    --jobs 1 --export "$tmp/j1-$seed.json" table1 > /dev/null
+  ./target/release/repro --scale smoke --seed "$seed" --fault-profile harsh \
+    --jobs 4 --export "$tmp/j4-$seed.json" table1 > /dev/null
+  cmp "$tmp/j1-$seed.json" "$tmp/j4-$seed.json"
+  cmp "$tmp/j1-$seed.json.integrity.json" "$tmp/j4-$seed.json.integrity.json"
+  grep -q -e '"Degraded"' -e '"Lost"' "$tmp/j1-$seed.json.integrity.json" || {
+    echo "seed $seed: harsh profile left every unit clean"; exit 1;
+  }
+done
+
 echo "CI OK"

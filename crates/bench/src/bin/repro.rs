@@ -6,16 +6,25 @@
 //! cargo run --release -p wheels-bench --bin repro -- --scale quarter all
 //! cargo run --release -p wheels-bench --bin repro -- --export dataset.json all
 //! cargo run --release -p wheels-bench --bin repro -- --jobs 4 all
+//! cargo run --release -p wheels-bench --bin repro -- --fault-profile harsh table1
 //! ```
 //!
 //! `--jobs N` runs the campaign's work units on N worker threads; the
 //! dataset (and every figure) is byte-identical to the sequential run.
+//!
+//! `--fault-profile none|paper|harsh` injects deterministic apparatus
+//! faults (probe crashes, server outages, modem detaches, timeouts); the
+//! supervisor retries failed units up to `--max-retries N` times and then
+//! degrades instead of aborting — unless `--fail-fast` is given, in which
+//! case a lost unit ends the run with a nonzero exit. With `--export
+//! FILE`, the per-unit integrity report lands in `FILE.integrity.json`.
 
 use std::io::Write;
 
 use wheels_analysis::figures as figs;
-use wheels_bench::{run_campaign_jobs, ReproScale, EXPERIMENTS};
+use wheels_bench::{run_campaign_supervised, FaultOpts, ReproScale, EXPERIMENTS};
 use wheels_campaign::stats::Table1;
+use wheels_campaign::FaultProfile;
 use wheels_xcal::database::ConsolidatedDb;
 
 fn main() {
@@ -23,6 +32,7 @@ fn main() {
     let mut scale = ReproScale::Full;
     let mut seed = 2026u64;
     let mut jobs = 1usize;
+    let mut faults = FaultOpts::default();
     let mut export: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
@@ -61,6 +71,27 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--fault-profile" => {
+                i += 1;
+                faults.profile = args
+                    .get(i)
+                    .and_then(|s| FaultProfile::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown fault profile (none|paper|harsh)");
+                        std::process::exit(2);
+                    });
+            }
+            "--max-retries" => {
+                i += 1;
+                faults.max_retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-retries needs a non-negative count");
+                        std::process::exit(2);
+                    });
+            }
+            "--fail-fast" => faults.fail_fast = true,
             "--export" => {
                 i += 1;
                 export = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -74,26 +105,44 @@ fn main() {
         i += 1;
     }
     if wanted.is_empty() {
-        eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] [--export FILE] <id...|all>");
+        eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] \
+                   [--fault-profile none|paper|harsh] [--max-retries N] [--fail-fast] \
+                   [--export FILE] <id...|all>");
         eprintln!("ids: {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
     wanted.dedup();
 
-    eprintln!("running campaign (scale {scale:?}, seed {seed}, jobs {jobs})...");
+    eprintln!(
+        "running campaign (scale {scale:?}, seed {seed}, jobs {jobs}, faults {})...",
+        faults.profile.label()
+    );
     let t0 = std::time::Instant::now();
-    let (campaign, db) = run_campaign_jobs(scale, seed, jobs);
+    let (campaign, outcome) = match run_campaign_supervised(scale, seed, jobs, faults) {
+        Ok(r) => r,
+        Err(abort) => {
+            eprintln!("{abort}");
+            std::process::exit(1);
+        }
+    };
+    let db = outcome.db;
+    let integrity = outcome.integrity;
     eprintln!(
         "campaign done in {:.1?}: {} test records, {} KPI samples",
         t0.elapsed(),
         db.records.len(),
         db.records.iter().map(|r| r.kpi.len()).sum::<usize>()
     );
+    eprintln!("{}", integrity.summary());
 
     if let Some(path) = export {
         let json = wheels_xcal::export::to_json(&db).expect("database serializes");
         std::fs::write(&path, json).expect("write export file");
-        eprintln!("dataset exported to {path}");
+        let report =
+            serde_json::to_string_pretty(&integrity).expect("integrity report serializes");
+        let report_path = format!("{path}.integrity.json");
+        std::fs::write(&report_path, report).expect("write integrity report");
+        eprintln!("dataset exported to {path}, integrity report to {report_path}");
     }
 
     let out = std::io::stdout();

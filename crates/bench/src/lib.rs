@@ -13,7 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use wheels_campaign::{Campaign, CampaignConfig};
+use wheels_campaign::{
+    Campaign, CampaignAborted, CampaignConfig, CampaignOutcome, FaultProfile,
+};
 use wheels_xcal::database::ConsolidatedDb;
 
 /// Scale presets for the repro binary.
@@ -58,6 +60,47 @@ pub fn run_campaign_jobs(scale: ReproScale, seed: u64, jobs: usize) -> (Campaign
     (campaign, db)
 }
 
+/// Fault-injection knobs of the repro binary (`--fault-profile`,
+/// `--max-retries`, `--fail-fast`).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultOpts {
+    /// Apparatus fault profile.
+    pub profile: FaultProfile,
+    /// Supervisor retry budget per unit.
+    pub max_retries: u32,
+    /// Abort the campaign on the first lost unit.
+    pub fail_fast: bool,
+}
+
+impl Default for FaultOpts {
+    fn default() -> Self {
+        FaultOpts {
+            profile: FaultProfile::None,
+            max_retries: 2,
+            fail_fast: false,
+        }
+    }
+}
+
+/// [`run_campaign_jobs`] under supervision: returns the dataset plus the
+/// per-unit integrity report, or a [`CampaignAborted`] if `fail_fast` is
+/// set and a unit was lost. With the default [`FaultOpts`], the dataset
+/// is byte-identical to [`run_campaign_jobs`].
+pub fn run_campaign_supervised(
+    scale: ReproScale,
+    seed: u64,
+    jobs: usize,
+    opts: FaultOpts,
+) -> Result<(Campaign, CampaignOutcome), CampaignAborted> {
+    let mut cfg = scale.config(seed);
+    cfg.fault_profile = opts.profile;
+    cfg.max_retries = opts.max_retries;
+    cfg.fail_fast = opts.fail_fast;
+    let campaign = Campaign::new(cfg);
+    let outcome = campaign.run_supervised_jobs(jobs)?;
+    Ok((campaign, outcome))
+}
+
 /// The experiment ids the repro binary understands, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "fig9",
@@ -76,6 +119,17 @@ mod tests {
     fn smoke_scale_runs() {
         let (_c, db) = run_campaign(ReproScale::Smoke, 1);
         assert!(!db.records.is_empty());
+    }
+
+    #[test]
+    fn supervised_default_opts_match_plain_run() {
+        let (_c, db) = run_campaign(ReproScale::Smoke, 1);
+        let (_c2, outcome) =
+            run_campaign_supervised(ReproScale::Smoke, 1, 1, FaultOpts::default())
+                .expect("no faults, no abort");
+        assert_eq!(db.records.len(), outcome.db.records.len());
+        assert_eq!(outcome.integrity.lost_count(), 0);
+        assert_eq!(outcome.integrity.degraded_count(), 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Campaign configuration.
 
+use wheels_netsim::faults::FaultProfile;
+
 /// Tunable parameters of a campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -21,6 +23,16 @@ pub struct CampaignConfig {
     pub snapshot_tick_s: f64,
     /// Idle gap between consecutive tests, seconds.
     pub gap_s: f64,
+    /// Apparatus fault injection profile (default
+    /// [`FaultProfile::None`]: the machinery is a strict no-op and the
+    /// output is bit-identical to a build without it).
+    pub fault_profile: FaultProfile,
+    /// Supervisor retry budget per work unit: a unit whose attempts all
+    /// abort is marked `Lost` after `max_retries + 1` tries.
+    pub max_retries: u32,
+    /// Abort the whole campaign if any unit ends `Lost` (only honored by
+    /// the supervised entry points; `run`/`run_jobs` always tolerate).
+    pub fail_fast: bool,
 }
 
 impl CampaignConfig {
@@ -35,6 +47,9 @@ impl CampaignConfig {
             passive_tick_s: 1.0,
             snapshot_tick_s: 0.1,
             gap_s: 4.0,
+            fault_profile: FaultProfile::None,
+            max_retries: 2,
+            fail_fast: false,
         }
     }
 
@@ -50,6 +65,9 @@ impl CampaignConfig {
             passive_tick_s: 5.0,
             snapshot_tick_s: 0.1,
             gap_s: 4.0,
+            fault_profile: FaultProfile::None,
+            max_retries: 2,
+            fail_fast: false,
         }
     }
 
@@ -77,5 +95,14 @@ mod tests {
     fn quick_is_subsampled() {
         let c = CampaignConfig::quick(1);
         assert!(c.scale < 0.2);
+    }
+
+    #[test]
+    fn faults_are_off_by_default() {
+        for c in [CampaignConfig::full(1), CampaignConfig::quick(1)] {
+            assert_eq!(c.fault_profile, FaultProfile::None);
+            assert_eq!(c.max_retries, 2);
+            assert!(!c.fail_fast);
+        }
     }
 }

@@ -25,12 +25,15 @@
 pub mod config;
 pub mod driver;
 pub mod executor;
+pub mod integrity;
 pub mod ookla;
 pub mod runner;
 pub mod static_tests;
 pub mod stats;
 
 pub use config::CampaignConfig;
-pub use executor::{merge_shards, Shard, WorkUnit};
-pub use runner::Campaign;
+pub use executor::{merge_shard_slots, merge_shards, Shard, WorkUnit};
+pub use integrity::{IntegrityReport, UnitError, UnitReport, UnitStatus};
+pub use runner::{Campaign, CampaignAborted, CampaignOutcome};
 pub use stats::Table1;
+pub use wheels_netsim::faults::FaultProfile;

@@ -32,7 +32,8 @@ use wheels_netsim::rng;
 
 use crate::config::CampaignConfig;
 use crate::driver::{demand_for, tcp_base_rtt_s, AppLinkAdapter, LinkDriver};
-use crate::executor::{merge_shards, Shard, WorkUnit};
+use crate::executor::{merge_shard_slots, Shard, WorkUnit};
+use crate::integrity::{IntegrityReport, UnitStatus};
 
 /// Durations of the tests in one round-robin cycle, seconds.
 const TPUT_S: f64 = 30.0;
@@ -57,6 +58,38 @@ impl Phone {
         }
     }
 }
+
+/// The full result of a supervised campaign: the merged dataset plus the
+/// per-unit integrity (data-completeness) report.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The consolidated dataset — with gaps where units were lost.
+    pub db: ConsolidatedDb,
+    /// Per-unit completeness accounting, canonical schedule order.
+    pub integrity: IntegrityReport,
+}
+
+/// A fail-fast abort: some unit was lost and
+/// [`CampaignConfig::fail_fast`](crate::CampaignConfig) is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignAborted {
+    /// The first lost unit, canonical schedule order.
+    pub unit: String,
+    /// Its terminal error.
+    pub error: String,
+}
+
+impl std::fmt::Display for CampaignAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign aborted (fail-fast): unit {} lost — {}",
+            self.unit, self.error
+        )
+    }
+}
+
+impl std::error::Error for CampaignAborted {}
 
 /// Optional side products of a run (for log-sync verification).
 #[derive(Debug, Default)]
@@ -119,11 +152,65 @@ impl Campaign {
     /// The output is byte-identical to [`Campaign::run`] for every `jobs`
     /// value: both paths run the same per-unit schedule with per-unit
     /// derived RNG streams and merge shards in canonical unit order (see
-    /// `tests/parallel_equivalence.rs`).
+    /// `tests/parallel_equivalence.rs`). This tolerant path never aborts
+    /// — lost units simply leave gaps (it ignores
+    /// [`CampaignConfig::fail_fast`]; use [`Campaign::run_supervised_jobs`]
+    /// for fail-fast semantics and the integrity report).
     pub fn run_jobs(&self, jobs: usize) -> ConsolidatedDb {
+        self.execute_and_merge(jobs).db
+    }
+
+    /// [`Campaign::run_supervised_jobs`] on the caller's thread.
+    pub fn run_supervised(&self) -> Result<CampaignOutcome, CampaignAborted> {
+        self.run_supervised_jobs(1)
+    }
+
+    /// Execute the campaign under supervision on `jobs` worker threads,
+    /// returning the dataset *and* the per-unit integrity report.
+    ///
+    /// With [`CampaignConfig::fail_fast`] set, a campaign with any
+    /// [`UnitStatus::Lost`] unit aborts with [`CampaignAborted`] naming
+    /// the first lost unit in canonical order (deterministic regardless
+    /// of `jobs`); otherwise lost units degrade to gaps in the dataset
+    /// and the run always succeeds.
+    pub fn run_supervised_jobs(&self, jobs: usize) -> Result<CampaignOutcome, CampaignAborted> {
+        let outcome = self.execute_and_merge(jobs);
+        if self.cfg.fail_fast {
+            if let Some(u) = outcome
+                .integrity
+                .units
+                .iter()
+                .find(|u| u.status == UnitStatus::Lost)
+            {
+                return Err(CampaignAborted {
+                    unit: u.unit.clone(),
+                    error: u.error.clone().unwrap_or_else(|| "unknown".into()),
+                });
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Run the full supervised schedule and fold the surviving shards
+    /// plus the per-unit reports into a [`CampaignOutcome`].
+    fn execute_and_merge(&self, jobs: usize) -> CampaignOutcome {
         let units = self.plan_units();
-        let shards = self.execute_units(&units, jobs);
-        merge_shards(shards)
+        let outcomes = self.execute_units(&units, jobs);
+        let mut slots = Vec::with_capacity(outcomes.len());
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            slots.push(o.shard);
+            reports.push(o.report);
+        }
+        CampaignOutcome {
+            db: merge_shard_slots(slots),
+            integrity: IntegrityReport {
+                profile: self.cfg.fault_profile.label().to_string(),
+                seed: self.cfg.seed,
+                max_retries: self.cfg.max_retries,
+                units: reports,
+            },
+        }
     }
 
     /// Execute and also reconstruct the raw XCAL/app logs for log-sync
@@ -163,9 +250,12 @@ impl Campaign {
         logs
     }
 
-    /// Run one work unit to a shard. Deterministic in `(config, unit)`:
-    /// every stream is derived from the campaign seed and the unit key.
-    pub(crate) fn run_unit(&self, unit: &WorkUnit) -> Shard {
+    /// Run one work unit's payload to a shard. Deterministic in
+    /// `(config, unit)`: every stream is derived from the campaign seed
+    /// and the unit key. Fault injection and panic handling sit above
+    /// this, in [`Campaign::run_unit`](crate::executor) — the payload
+    /// itself never knows whether the world is hostile.
+    pub(crate) fn run_unit_payload(&self, unit: &WorkUnit) -> Shard {
         match *unit {
             WorkUnit::Drive { op, day } => self.run_drive_day(op, day),
             WorkUnit::Static { op, site_od } => self.run_static_site(op, site_od),

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use wheels_campaign::{merge_shards, Shard};
+use wheels_campaign::{merge_shard_slots, merge_shards, Shard};
 use wheels_geo::timezone::Timezone;
 use wheels_netsim::server::ServerKind;
 use wheels_ran::operator::Operator;
@@ -36,6 +36,26 @@ fn record(local_id: u32, start_s: f64, op: Operator) -> TestRecord {
 fn arb_shards() -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(
         prop::collection::vec(0.0f64..700_000.0, 0..20),
+        0..8,
+    )
+}
+
+/// Timestamps as an adversary (or a corrupted fault-injected shard) could
+/// produce them: finite values mixed with NaN and both infinities.
+fn arb_time() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..700_000.0,
+        -1e9f64..1e9,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// Supervised slot vectors: `None` is a lost unit's missing shard.
+fn arb_slots() -> impl Strategy<Value = Vec<Option<Vec<f64>>>> {
+    prop::collection::vec(
+        prop::option::of(prop::collection::vec(arb_time(), 0..15)),
         0..8,
     )
 }
@@ -89,6 +109,48 @@ proptest! {
             .collect();
         let got: Vec<Operator> = db.records.iter().map(|r| r.op).collect();
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merge_is_total_under_non_finite_times_and_missing_shards(slots in arb_slots()) {
+        // The merge must never panic, lose records, or emit unstable
+        // output — whatever the timestamps and however many shards were
+        // lost to faults. `total_cmp` makes the sort total; `None` slots
+        // contribute nothing.
+        let total: usize = slots.iter().flatten().map(Vec::len).sum();
+        let build = |slots: &Vec<Option<Vec<f64>>>| -> Vec<Option<Shard>> {
+            slots
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|times| Shard {
+                        records: times
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &t)| record(i as u32, t, Operator::ALL[i % 3]))
+                            .collect(),
+                        passive: None,
+                    })
+                })
+                .collect()
+        };
+        let db = merge_shard_slots(build(&slots));
+        // Total: every surviving record is there, ids reassigned 0..n.
+        prop_assert_eq!(db.records.len(), total);
+        for (i, r) in db.records.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u32);
+        }
+        // Finite prefix is sorted (total_cmp order: NaN sorts above
+        // +inf, so finite values stay mutually ordered).
+        for pair in db.records.windows(2) {
+            if pair[0].start_s.is_finite() && pair[1].start_s.is_finite() {
+                prop_assert!(pair[0].start_s <= pair[1].start_s);
+            }
+        }
+        // Stable: a second merge of identical input gives identical order.
+        let again = merge_shard_slots(build(&slots));
+        let a: Vec<(u32, Operator)> = db.records.iter().map(|r| (r.id, r.op)).collect();
+        let b: Vec<(u32, Operator)> = again.records.iter().map(|r| (r.id, r.op)).collect();
+        prop_assert_eq!(a, b);
     }
 
     #[test]

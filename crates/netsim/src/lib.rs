@@ -25,6 +25,7 @@ pub mod bbr;
 pub mod bulk;
 pub mod cubic;
 pub mod event;
+pub mod faults;
 pub mod mptcp;
 pub mod ping;
 pub mod reno;
@@ -37,6 +38,7 @@ pub use bbr::Bbr;
 pub use bulk::{BulkTransferTest, ThroughputSample};
 pub use cubic::Cubic;
 pub use event::EventQueue;
+pub use faults::{Fault, FaultPlan, FaultProfile};
 pub use mptcp::{MptcpMode, MultipathFlow};
 pub use ping::{RttSample, RttTest};
 pub use reno::Reno;

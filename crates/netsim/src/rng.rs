@@ -21,6 +21,9 @@ pub const DOMAIN_CYCLE: u64 = 0x4359_434C_4531_0002; // "CYCLE1"
 pub const DOMAIN_STATIC: u64 = 0x5354_4154_4943_0003; // "STATIC"
 /// Domain tag for the per-operator passive handover logger.
 pub const DOMAIN_PASSIVE: u64 = 0x5041_5353_4956_0004; // "PASSIV"
+/// Domain tag for per-`(unit, attempt)` fault-injection decisions (see
+/// [`crate::faults`]).
+pub const DOMAIN_FAULT: u64 = 0x4641_554C_5453_0005; // "FAULTS"
 
 /// Derive a stream seed from the campaign seed, a domain tag, and the
 /// unit's key words.

@@ -153,6 +153,31 @@ impl TestRecord {
         }
     }
 
+    /// Truncate the record's logged streams at plan time `t_s`, as if the
+    /// XCAL probe died at that instant: KPI samples and handovers stamped
+    /// after `t_s` are gone, and the (unstamped) ping series keeps only
+    /// the fraction of samples collected before the crash. The scheduled
+    /// `start_s`/`duration_s` are untouched — the test *ran*, its log is
+    /// just short. Returns the number of KPI samples lost.
+    pub fn truncate_streams_at(&mut self, t_s: f64) -> usize {
+        let before = self.kpi.len();
+        self.kpi.retain(|k| k.time_s <= t_s);
+        self.handovers.retain(|h| h.time_s <= t_s);
+        if !self.rtt_ms.is_empty() && self.duration_s > 0.0 {
+            let frac = ((t_s - self.start_s) / self.duration_s).clamp(0.0, 1.0);
+            let keep = (self.rtt_ms.len() as f64 * frac).floor() as usize;
+            self.rtt_ms.truncate(keep);
+        }
+        before - self.kpi.len()
+    }
+
+    /// True if the test's `[start_s, start_s + duration_s]` span overlaps
+    /// the closed window `[w0_s, w1_s]` (used to decide which tests a
+    /// modem-detach window kills).
+    pub fn overlaps_window(&self, w0_s: f64, w1_s: f64) -> bool {
+        self.start_s <= w1_s && self.start_s + self.duration_s >= w0_s
+    }
+
     /// Throughput samples (Mbps) of this record, if any.
     pub fn tput_samples(&self) -> impl Iterator<Item = f64> + '_ {
         self.kpi.iter().filter_map(|k| k.tput_mbps.map(f64::from))
@@ -325,6 +350,39 @@ mod tests {
         };
         // Both records contain cells {1, 2}.
         assert_eq!(db.unique_cells(Operator::Verizon), 2);
+    }
+
+    #[test]
+    fn truncate_streams_drops_late_data_only() {
+        let mut r = record(0, Operator::Verizon, TestKind::Rtt, false);
+        // record(): start_s = 0, duration 30, kpi at t = 0.0 and 0.5.
+        r.rtt_ms = vec![10.0; 100];
+        let lost = r.truncate_streams_at(0.25);
+        assert_eq!(lost, 1, "one of two KPI samples is after t=0.25");
+        assert_eq!(r.kpi.len(), 1);
+        // 0.25/30 of the ping series survives: floor(100 * 1/120) = 0.
+        assert!(r.rtt_ms.is_empty());
+        assert_eq!(r.start_s, 0.0);
+        assert_eq!(r.duration_s, 30.0);
+    }
+
+    #[test]
+    fn truncate_after_end_is_a_noop() {
+        let mut r = record(0, Operator::Verizon, TestKind::Rtt, false);
+        r.rtt_ms = vec![10.0; 100];
+        assert_eq!(r.truncate_streams_at(1e9), 0);
+        assert_eq!(r.kpi.len(), 2);
+        assert_eq!(r.rtt_ms.len(), 100);
+    }
+
+    #[test]
+    fn window_overlap_is_inclusive() {
+        let r = record(0, Operator::Att, TestKind::ThroughputDl, false);
+        // Span [0, 30].
+        assert!(r.overlaps_window(30.0, 40.0));
+        assert!(r.overlaps_window(-5.0, 0.0));
+        assert!(r.overlaps_window(10.0, 20.0));
+        assert!(!r.overlaps_window(30.1, 40.0));
     }
 
     #[test]

@@ -59,6 +59,24 @@ impl PassiveLogger {
         &self.samples
     }
 
+    /// Discard every sample after plan time `t_s`, as if the logger app
+    /// crashed then and nobody noticed until the end of the day. Returns
+    /// the number of samples lost.
+    pub fn truncate_after(&mut self, t_s: f64) -> usize {
+        let before = self.samples.len();
+        self.samples.retain(|s| s.time_s <= t_s);
+        before - self.samples.len()
+    }
+
+    /// Discard samples inside the closed window `[w0_s, w1_s]` — a modem
+    /// detach: the radio was gone, so nothing was logged. Returns the
+    /// number of samples lost.
+    pub fn drop_window(&mut self, w0_s: f64, w1_s: f64) -> usize {
+        let before = self.samples.len();
+        self.samples.retain(|s| s.time_s < w0_s || s.time_s > w1_s);
+        before - self.samples.len()
+    }
+
     /// Distance-weighted technology shares (fraction of miles on each
     /// technology), matching how the paper computes coverage.
     pub fn tech_shares(&self) -> [(Technology, f64); 5] {
@@ -148,6 +166,19 @@ mod tests {
         }
         assert_eq!(log.cell_changes(), 3);
         assert_eq!(log.unique_cells(), 3);
+    }
+
+    #[test]
+    fn truncate_and_window_drop_count_losses() {
+        let mut log = PassiveLogger::new();
+        for i in 0..10 {
+            log.log(&snap(i as f64, i as f64 * 100.0, 1, Technology::Lte), -100.0);
+        }
+        assert_eq!(log.drop_window(3.0, 5.0), 3, "samples at t = 3, 4, 5");
+        assert_eq!(log.samples().len(), 7);
+        assert_eq!(log.truncate_after(6.5), 3, "samples at t = 7, 8, 9");
+        assert_eq!(log.samples().len(), 4);
+        assert_eq!(log.truncate_after(100.0), 0);
     }
 
     #[test]

@@ -6,15 +6,21 @@
 //! completion order must not leak into the output. These tests prove it
 //! on the exported JSON — the strongest equality the dataset has.
 
-use wheels_campaign::{Campaign, CampaignConfig};
+use wheels_campaign::{Campaign, CampaignConfig, FaultProfile, UnitStatus};
 use wheels_xcal::export::to_json;
 
 /// A miniature campaign exercising every unit kind: drive cycles,
 /// static city baselines, and passive loggers.
 fn mini(seed: u64) -> Campaign {
+    mini_faulted(seed, FaultProfile::None)
+}
+
+/// [`mini`] under an apparatus fault profile.
+fn mini_faulted(seed: u64, profile: FaultProfile) -> Campaign {
     let mut cfg = CampaignConfig::quick_network_only(seed);
     cfg.scale = 0.004;
     cfg.passive_tick_s = 120.0;
+    cfg.fault_profile = profile;
     Campaign::new(cfg)
 }
 
@@ -64,4 +70,73 @@ fn oversubscribed_workers_are_harmless() {
     let a = to_json(&campaign.run_jobs(64)).expect("export");
     let b = to_json(&campaign.run()).expect("export");
     assert_eq!(a, b);
+}
+
+#[test]
+fn fault_injected_runs_are_byte_identical_at_every_worker_count() {
+    // The determinism guarantee must survive injection: faults are keyed
+    // by (seed, unit, attempt), never by worker or completion order, so
+    // the export AND the integrity report match byte for byte.
+    for profile in [FaultProfile::Paper, FaultProfile::Harsh] {
+        for seed in [11, 42] {
+            let campaign = mini_faulted(seed, profile);
+            let base = campaign.run_supervised().expect("tolerant by default");
+            let base_json = to_json(&base.db).expect("export");
+            let base_report =
+                serde_json::to_string_pretty(&base.integrity).expect("report export");
+            for jobs in [2, 4, 64] {
+                let par = campaign.run_supervised_jobs(jobs).expect("tolerant");
+                assert_eq!(
+                    base_json,
+                    to_json(&par.db).expect("export"),
+                    "{} seed {seed}: jobs={jobs} dataset diverged",
+                    profile.label()
+                );
+                assert_eq!(
+                    base_report,
+                    serde_json::to_string_pretty(&par.integrity).expect("report export"),
+                    "{} seed {seed}: jobs={jobs} integrity report diverged",
+                    profile.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn harsh_profile_degrades_but_completes() {
+    for seed in [11, 42] {
+        let outcome = mini_faulted(seed, FaultProfile::Harsh)
+            .run_supervised()
+            .expect("tolerant by default");
+        let hit = outcome
+            .integrity
+            .units
+            .iter()
+            .filter(|u| u.status != UnitStatus::Ok)
+            .count();
+        assert!(hit > 0, "seed {seed}: harsh profile left every unit clean");
+        assert!(
+            !outcome.db.records.is_empty(),
+            "seed {seed}: campaign produced no data at all"
+        );
+    }
+}
+
+#[test]
+fn fault_profiles_change_the_dataset_none_does_not() {
+    let seed = 42;
+    let clean = to_json(&mini(seed).run()).expect("export");
+    let clean_supervised = {
+        let outcome = mini(seed).run_supervised().expect("no faults");
+        to_json(&outcome.db).expect("export")
+    };
+    assert_eq!(clean, clean_supervised, "fault machinery must be a no-op when off");
+    let harsh = {
+        let outcome = mini_faulted(seed, FaultProfile::Harsh)
+            .run_supervised()
+            .expect("tolerant");
+        to_json(&outcome.db).expect("export")
+    };
+    assert_ne!(clean, harsh, "harsh faults should visibly cost data");
 }

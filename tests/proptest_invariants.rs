@@ -11,6 +11,7 @@ use wheels::geo::timezone::Timezone;
 use wheels::netsim::cubic::Cubic;
 use wheels::netsim::tcp::{CongestionControl, FluidTcp, MSS};
 use wheels::radio::mcs::{mcs_from_sinr, spectral_efficiency, MAX_MCS};
+use wheels::netsim::faults::{FaultPlan, FaultProfile};
 use wheels::netsim::rng::{derive_seed, stream, DOMAIN_CYCLE, DOMAIN_PASSIVE, DOMAIN_PHONE, DOMAIN_STATIC};
 use wheels::ran::handover::A3Tracker;
 use wheels::xcal::timestamp::Timestamp;
@@ -70,6 +71,59 @@ proptest! {
             );
         }
     }
+    #[test]
+    fn fault_plan_decisions_never_collide_across_units(campaign_seed in 0u64..u64::MAX) {
+        // Every (unit-kind, operator, coordinate, attempt) must draw its
+        // fault decision from its own derived seed: a collision would make
+        // two "independent" units fail in lockstep. Mirrors the work-unit
+        // key space: kind tags {1,2,3}, 3 operators, 8 days/sites, and the
+        // supervisor's full retry budget.
+        let plan = FaultPlan::new(campaign_seed, FaultProfile::Harsh);
+        let mut seen = std::collections::HashSet::new();
+        for kind in 1u64..=3 {
+            for op in 0u64..3 {
+                for coord in 0u64..8 {
+                    for attempt in 0u32..4 {
+                        prop_assert!(
+                            seen.insert(plan.attempt_seed(&[kind, op, coord], attempt)),
+                            "fault-decision collision at kind {kind} op {op} coord {coord} attempt {attempt}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_flips_under_single_bit_seed_perturbation(
+        campaign_seed in 0u64..u64::MAX, bit in 0u32..64
+    ) {
+        // Flipping any one bit of the campaign seed must reroute every
+        // unit's fault stream, like the RNG streams above — otherwise two
+        // campaigns could share a failure schedule.
+        let a = FaultPlan::new(campaign_seed, FaultProfile::Harsh);
+        let b = FaultPlan::new(campaign_seed ^ (1u64 << bit), FaultProfile::Harsh);
+        for op in 0u64..3 {
+            for day in 0u64..8 {
+                prop_assert_ne!(
+                    a.attempt_seed(&[1, op, day], 0),
+                    b.attempt_seed(&[1, op, day], 0),
+                    "op {} day {} fault stream unchanged under seed flip", op, day
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_none_profile_is_inert(campaign_seed in 0u64..u64::MAX, attempt in 0u32..8) {
+        let plan = FaultPlan::new(campaign_seed, FaultProfile::None);
+        for kind in 1u64..=3 {
+            for op in 0u64..3 {
+                prop_assert_eq!(plan.fault_for(&[kind, op, 0], attempt), None);
+            }
+        }
+    }
+
     #[test]
     fn haversine_is_a_metric(
         lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
