@@ -34,4 +34,15 @@ for seed in 11 42; do
   }
 done
 
+echo "== report byte-equivalence (quarter scale, fig-jobs 1 vs 4) =="
+# The figure fan-out must not change a single byte of `repro all`.
+./target/release/repro --scale quarter --fig-jobs 1 all \
+  > "$tmp/report-f1.txt" 2> /dev/null
+./target/release/repro --scale quarter --fig-jobs 4 --timings \
+  --timings-json BENCH_report.json all \
+  > "$tmp/report-f4.txt"
+cmp "$tmp/report-f1.txt" "$tmp/report-f4.txt"
+echo "report timings:"
+cat BENCH_report.json
+
 echo "CI OK"

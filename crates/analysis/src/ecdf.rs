@@ -12,7 +12,18 @@ impl Ecdf {
     /// Build from samples (non-finite values are dropped).
     pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+        sorted.sort_by(f64::total_cmp);
+        Ecdf { sorted }
+    }
+
+    /// Build from a column that is already sorted ascending (e.g. a
+    /// pre-sorted [`crate::index::AnalysisIndex`] metric column) — no
+    /// re-sort, no copy.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]) && sorted.iter().all(|v| v.is_finite()),
+            "from_sorted needs finite ascending samples"
+        );
         Ecdf { sorted }
     }
 

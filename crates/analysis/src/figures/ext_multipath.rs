@@ -8,14 +8,12 @@
 //! This is *not* a paper figure — it is the experiment the paper's
 //! conclusion calls for.
 
-use std::collections::HashMap;
-
 use wheels_netsim::mptcp::{MptcpMode, MultipathFlow};
-use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+use wheels_xcal::database::TestRecord;
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 
 /// One concurrent triple replayed under multipath.
@@ -74,31 +72,13 @@ fn replay(records: [&TestRecord; 3]) -> Option<TripleOutcome> {
     })
 }
 
-/// Compute the what-if over all concurrent driving test triples.
-pub fn compute(db: &ConsolidatedDb) -> MultipathWhatIf {
+/// Compute the what-if over the index's concurrent test triples.
+pub fn compute(ix: &AnalysisIndex<'_>) -> MultipathWhatIf {
     let mut per_dir = Vec::new();
     for dir in Direction::BOTH {
-        let kind = match dir {
-            Direction::Downlink => TestKind::ThroughputDl,
-            Direction::Uplink => TestKind::ThroughputUl,
-        };
-        let mut by_time: HashMap<i64, Vec<&TestRecord>> = HashMap::new();
-        for r in db.records.iter().filter(|r| !r.is_static && r.kind == kind) {
-            by_time.entry(r.start_s.round() as i64).or_default().push(r);
-        }
         let mut outcomes = Vec::new();
-        for records in by_time.values() {
-            if records.len() != 3 {
-                continue;
-            }
-            let mut sorted: Vec<&TestRecord> = records.clone();
-            sorted.sort_by_key(|r| {
-                Operator::ALL
-                    .iter()
-                    .position(|&o| o == r.op)
-                    .expect("known operator")
-            });
-            if let Some(o) = replay([sorted[0], sorted[1], sorted[2]]) {
+        for t in ix.concurrent_triples(dir) {
+            if let Some(o) = replay([ix.record(t[0]), ix.record(t[1]), ix.record(t[2])]) {
                 outcomes.push(o);
             }
         }
@@ -151,12 +131,12 @@ impl MultipathWhatIf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db;
+    use crate::figures::test_support::network_ix;
 
     #[test]
     fn aggregation_beats_best_single() {
         // §5.4's thesis: diversity means aggregation pays.
-        let f = compute(network_db());
+        let f = compute(network_ix());
         let (agg, _) = f.gains(Direction::Downlink);
         assert!(agg.len() > 20, "only {} triples", agg.len());
         assert!(
@@ -168,7 +148,7 @@ mod tests {
 
     #[test]
     fn bestpath_never_much_worse_than_single() {
-        let f = compute(network_db());
+        let f = compute(network_ix());
         let (_, best) = f.gains(Direction::Downlink);
         if best.len() > 20 {
             // Switching lag costs something, but the scheduler must stay
@@ -179,7 +159,7 @@ mod tests {
 
     #[test]
     fn uplink_triples_exist_too() {
-        let f = compute(network_db());
+        let f = compute(network_ix());
         let (agg, _) = f.gains(Direction::Uplink);
         assert!(agg.len() > 20);
         assert!(agg.median() > 1.0);

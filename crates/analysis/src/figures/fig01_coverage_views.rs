@@ -7,9 +7,9 @@
 
 use wheels_radio::band::Technology;
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::ConsolidatedDb;
 
-use super::{share_5g, tech_shares};
+use super::share_5g;
+use crate::index::AnalysisIndex;
 use crate::render::share_bar;
 
 /// Distance-weighted technology shares, one entry per technology.
@@ -22,22 +22,13 @@ pub struct CoverageViews {
     pub per_op: Vec<(Operator, Shares, Shares)>,
 }
 
-/// Compute both views for all operators.
-pub fn compute(db: &ConsolidatedDb) -> CoverageViews {
+/// Compute both views for all operators from the pre-aggregated shares.
+pub fn compute(ix: &AnalysisIndex<'_>) -> CoverageViews {
     let per_op = Operator::ALL
         .iter()
         .map(|&op| {
-            let passive = db
-                .passive_for(op)
-                .map(|p| p.tech_shares())
-                .unwrap_or([(Technology::Lte, 0.0); 5]);
-            let active = tech_shares(
-                db.records
-                    .iter()
-                    .filter(|r| r.op == op && !r.is_static)
-                    .flat_map(|r| r.kpi.iter()),
-            );
-            (op, passive, active)
+            let s = ix.shares(op);
+            (op, s.passive, s.active_all)
         })
         .collect();
     CoverageViews { per_op }
@@ -78,12 +69,11 @@ impl CoverageViews {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn passive_view_is_pessimistic() {
-        let db = small_db();
-        let v = compute(db);
+        let v = compute(small_ix());
         for op in Operator::ALL {
             let (passive, active) = v.gap_for(op).expect("all ops present");
             assert!(
@@ -96,15 +86,13 @@ mod tests {
     #[test]
     fn att_passive_essentially_4g_only() {
         // Fig. 1d: AT&T's handover-logger saw only LTE/LTE-A.
-        let db = small_db();
-        let (passive, _) = compute(db).gap_for(Operator::Att).unwrap();
+        let (passive, _) = compute(small_ix()).gap_for(Operator::Att).unwrap();
         assert!(passive < 0.08, "AT&T passive 5G share {passive}");
     }
 
     #[test]
     fn render_mentions_all_operators() {
-        let db = small_db();
-        let r = compute(db).render();
+        let r = compute(small_ix()).render();
         for op in Operator::ALL {
             assert!(r.contains(op.label()));
         }

@@ -8,9 +8,9 @@ use wheels_geo::SpeedBin;
 use wheels_radio::band::Technology;
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
-use super::{share_5g, share_hs5g, tech_shares};
+use super::{share_5g, share_hs5g};
+use crate::index::AnalysisIndex;
 use crate::render::share_bar;
 
 /// Shares type alias: one entry per technology.
@@ -29,47 +29,28 @@ pub struct CoverageFig {
     pub by_speed: Vec<(Operator, SpeedBin, Shares)>,
 }
 
-/// Compute all four panels from the driving tests.
-pub fn compute(db: &ConsolidatedDb) -> CoverageFig {
-    let driving_kpi = |op: Operator| {
-        db.records
-            .iter()
-            .filter(move |r| r.op == op && !r.is_static)
-            .flat_map(|r| r.kpi.iter())
-    };
+/// Assemble all four panels from the index's pre-aggregated shares.
+pub fn compute(ix: &AnalysisIndex<'_>) -> CoverageFig {
     let overall = Operator::ALL
         .iter()
-        .map(|&op| (op, tech_shares(driving_kpi(op))))
+        .map(|&op| (op, ix.shares(op).active_all))
         .collect();
     let mut by_direction = Vec::new();
     for &op in &Operator::ALL {
-        for dir in Direction::BOTH {
-            let kind = match dir {
-                Direction::Downlink => TestKind::ThroughputDl,
-                Direction::Uplink => TestKind::ThroughputUl,
-            };
-            let shares = tech_shares(
-                db.records
-                    .iter()
-                    .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-                    .flat_map(|r| r.kpi.iter()),
-            );
-            by_direction.push((op, dir, shares));
+        for (di, dir) in Direction::BOTH.into_iter().enumerate() {
+            by_direction.push((op, dir, ix.shares(op).by_direction[di]));
         }
     }
     let mut by_timezone = Vec::new();
     for &op in &Operator::ALL {
-        for tz in Timezone::ALL {
-            let shares = tech_shares(driving_kpi(op).filter(|k| k.timezone == tz));
-            by_timezone.push((op, tz, shares));
+        for (zi, tz) in Timezone::ALL.into_iter().enumerate() {
+            by_timezone.push((op, tz, ix.shares(op).by_timezone[zi]));
         }
     }
     let mut by_speed = Vec::new();
     for &op in &Operator::ALL {
-        for bin in SpeedBin::ALL {
-            let shares =
-                tech_shares(driving_kpi(op).filter(|k| SpeedBin::from_mph(k.speed_mph()) == bin));
-            by_speed.push((op, bin, shares));
+        for (bi, bin) in SpeedBin::ALL.into_iter().enumerate() {
+            by_speed.push((op, bin, ix.shares(op).by_speed[bi]));
         }
     }
     CoverageFig {
@@ -148,11 +129,11 @@ impl CoverageFig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn tmobile_has_most_5g_verizon_att_low() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let t = share_5g(f.overall_for(Operator::TMobile));
         let v = share_5g(f.overall_for(Operator::Verizon));
         let a = share_5g(f.overall_for(Operator::Att));
@@ -163,7 +144,7 @@ mod tests {
 
     #[test]
     fn att_high_speed_5g_is_tiny() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let hs = share_hs5g(f.overall_for(Operator::Att));
         assert!(hs < 0.12, "AT&T high-speed {hs}");
     }
@@ -175,7 +156,7 @@ mod tests {
         // fixture scale (coverage patches are km-long, tests are ~0.5 mi),
         // so assert strictly on the pooled shares and loosely per
         // operator.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let mut dl_pool = 0.0;
         let mut ul_pool = 0.0;
         for op in Operator::ALL {
@@ -192,7 +173,7 @@ mod tests {
     fn high_speed_5g_decreases_with_speed_for_verizon() {
         // Fig. 2d: Verizon ~43% high-speed in the low bin vs ~13% in the
         // high bin.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let low = share_hs5g(f.speed_for(Operator::Verizon, SpeedBin::Low));
         let high = share_hs5g(f.speed_for(Operator::Verizon, SpeedBin::High));
         assert!(low > high, "low {low} vs high {high}");
@@ -200,14 +181,14 @@ mod tests {
 
     #[test]
     fn tmobile_keeps_midband_at_speed() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let high = share_hs5g(f.speed_for(Operator::TMobile, SpeedBin::High));
         assert!(high > 0.2, "T-Mobile high-speed at 60+ mph: {high}");
     }
 
     #[test]
     fn render_has_all_panels() {
-        let r = compute(small_db()).render();
+        let r = compute(small_ix()).render();
         for panel in ["Fig. 2a", "Fig. 2b", "Fig. 2c", "Fig. 2d"] {
             assert!(r.contains(panel));
         }

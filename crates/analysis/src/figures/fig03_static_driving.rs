@@ -1,9 +1,12 @@
 //! Fig. 3: overall throughput and RTT, static city baselines vs driving.
 
+use std::sync::Arc;
+
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
+use wheels_ran::Direction;
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 
 /// One operator's six CDFs: (DL, UL, RTT) × (static, driving).
@@ -12,17 +15,17 @@ pub struct OpPerf {
     /// Operator.
     pub op: Operator,
     /// Static downlink throughput samples, Mbps.
-    pub static_dl: Ecdf,
+    pub static_dl: Arc<Ecdf>,
     /// Static uplink throughput, Mbps.
-    pub static_ul: Ecdf,
+    pub static_ul: Arc<Ecdf>,
     /// Static RTT, ms.
-    pub static_rtt: Ecdf,
+    pub static_rtt: Arc<Ecdf>,
     /// Driving downlink throughput, Mbps.
-    pub driving_dl: Ecdf,
+    pub driving_dl: Arc<Ecdf>,
     /// Driving uplink throughput, Mbps.
-    pub driving_ul: Ecdf,
+    pub driving_ul: Arc<Ecdf>,
     /// Driving RTT, ms.
-    pub driving_rtt: Ecdf,
+    pub driving_rtt: Arc<Ecdf>,
 }
 
 /// Fig. 3 data for all operators.
@@ -32,37 +35,19 @@ pub struct StaticVsDriving {
     pub per_op: Vec<OpPerf>,
 }
 
-fn tput_ecdf(db: &ConsolidatedDb, op: Operator, kind: TestKind, is_static: bool) -> Ecdf {
-    Ecdf::new(
-        db.records
-            .iter()
-            .filter(|r| r.op == op && r.kind == kind && r.is_static == is_static)
-            .flat_map(|r| r.tput_samples()),
-    )
-}
-
-fn rtt_ecdf(db: &ConsolidatedDb, op: Operator, is_static: bool) -> Ecdf {
-    Ecdf::new(
-        db.records
-            .iter()
-            .filter(|r| r.op == op && r.kind == TestKind::Rtt && r.is_static == is_static)
-            .flat_map(|r| r.rtt_ms.iter().map(|&v| v as f64)),
-    )
-}
-
-/// Compute Fig. 3 from the database.
-pub fn compute(db: &ConsolidatedDb) -> StaticVsDriving {
+/// Assemble Fig. 3 from the index's canonical pre-sorted slices.
+pub fn compute(ix: &AnalysisIndex<'_>) -> StaticVsDriving {
     StaticVsDriving {
         per_op: Operator::ALL
             .iter()
             .map(|&op| OpPerf {
                 op,
-                static_dl: tput_ecdf(db, op, TestKind::ThroughputDl, true),
-                static_ul: tput_ecdf(db, op, TestKind::ThroughputUl, true),
-                static_rtt: rtt_ecdf(db, op, true),
-                driving_dl: tput_ecdf(db, op, TestKind::ThroughputDl, false),
-                driving_ul: tput_ecdf(db, op, TestKind::ThroughputUl, false),
-                driving_rtt: rtt_ecdf(db, op, false),
+                static_dl: ix.tput_ecdf(op, Direction::Downlink, true),
+                static_ul: ix.tput_ecdf(op, Direction::Uplink, true),
+                static_rtt: ix.rtt_ecdf(op, true),
+                driving_dl: ix.tput_ecdf(op, Direction::Downlink, false),
+                driving_ul: ix.tput_ecdf(op, Direction::Uplink, false),
+                driving_rtt: ix.rtt_ecdf(op, false),
             })
             .collect(),
     }
@@ -131,12 +116,12 @@ impl StaticVsDriving {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn static_medians_order_verizon_att_tmobile() {
         // Fig. 3a DL medians: 1511 (V) / 710 (A) / 311 (T) Mbps.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let f_v = f.for_op(Operator::Verizon);
         let f_a = f.for_op(Operator::Att);
         let f_t = f.for_op(Operator::TMobile);
@@ -158,7 +143,7 @@ mod tests {
     #[test]
     fn driving_collapses_vs_static() {
         // §5.1: driving medians are 1-5 % of static DL medians.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.static_dl.is_empty() || p.driving_dl.is_empty() {
@@ -171,21 +156,21 @@ mod tests {
 
     #[test]
     fn uplink_order_of_magnitude_below_downlink_static() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let p = f.for_op(Operator::Verizon);
         assert!(p.static_ul.median() * 3.0 < p.static_dl.median());
     }
 
     #[test]
     fn substantial_low_throughput_tail_driving() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let frac = f.frac_driving_below_5mbps();
         assert!((0.15..0.60).contains(&frac), "below-5Mbps frac {frac}");
     }
 
     #[test]
     fn driving_rtt_inflated() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.static_rtt.is_empty() || p.driving_rtt.is_empty() {
@@ -203,7 +188,7 @@ mod tests {
     #[test]
     fn driving_medians_in_papers_band() {
         // Fig. 3b: DL median/75th between 6-34 / 47-74 Mbps.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let m = f.for_op(op).driving_dl.median();
             assert!((3.0..60.0).contains(&m), "{op} driving DL median {m}");

@@ -1,17 +1,18 @@
 //! Fig. 4: driving throughput/RTT CDFs per technology; Verizon edge vs
 //! cloud split.
 
+use std::sync::Arc;
+
 use wheels_netsim::server::ServerKind;
 use wheels_radio::band::Technology;
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
-use super::rtt_with_context;
 use crate::ecdf::Ecdf;
+use crate::index::{AnalysisIndex, EcdfQuery, QueryMetric};
 use crate::render::{cdf_header, cdf_row};
 
 /// One CDF series keyed by (operator, technology, server kind).
-pub type TechSeries = Vec<(Operator, Technology, ServerKind, Ecdf)>;
+pub type TechSeries = Vec<(Operator, Technology, ServerKind, Arc<Ecdf>)>;
 
 /// CDFs per (operator, technology, server kind).
 #[derive(Debug, Clone)]
@@ -24,8 +25,8 @@ pub struct TechPerf {
     pub rtt: TechSeries,
 }
 
-/// Compute Fig. 4 (driving tests only).
-pub fn compute(db: &ConsolidatedDb) -> TechPerf {
+/// Compute Fig. 4 (driving tests only) from memoized index queries.
+pub fn compute(ix: &AnalysisIndex<'_>) -> TechPerf {
     let mut dl = Vec::new();
     let mut ul = Vec::new();
     let mut rtt = Vec::new();
@@ -37,37 +38,12 @@ pub fn compute(db: &ConsolidatedDb) -> TechPerf {
         };
         for &server in kinds {
             for tech in Technology::ALL {
-                let tput = |kind: TestKind| {
-                    Ecdf::new(
-                        db.records
-                            .iter()
-                            .filter(|r| {
-                                r.op == op
-                                    && !r.is_static
-                                    && r.kind == kind
-                                    && r.server_kind == server
-                            })
-                            .flat_map(|r| r.kpi.iter())
-                            .filter(|k| k.tech == tech)
-                            .filter_map(|k| k.tput_mbps.map(f64::from)),
-                    )
+                let cell = |metric: QueryMetric| {
+                    ix.query(EcdfQuery::metric(op, metric).tech(tech).server(server))
                 };
-                dl.push((op, tech, server, tput(TestKind::ThroughputDl)));
-                ul.push((op, tech, server, tput(TestKind::ThroughputUl)));
-                let r_ecdf = Ecdf::new(
-                    db.records
-                        .iter()
-                        .filter(|r| {
-                            r.op == op
-                                && !r.is_static
-                                && r.kind == TestKind::Rtt
-                                && r.server_kind == server
-                        })
-                        .flat_map(rtt_with_context)
-                        .filter(|(_, k)| k.tech == tech)
-                        .map(|(v, _)| v),
-                );
-                rtt.push((op, tech, server, r_ecdf));
+                dl.push((op, tech, server, cell(QueryMetric::TputDl)));
+                ul.push((op, tech, server, cell(QueryMetric::TputUl)));
+                rtt.push((op, tech, server, cell(QueryMetric::Rtt)));
             }
         }
     }
@@ -77,19 +53,19 @@ pub fn compute(db: &ConsolidatedDb) -> TechPerf {
 impl TechPerf {
     /// Look up one series.
     pub fn get(
-        list: &[(Operator, Technology, ServerKind, Ecdf)],
+        list: &[(Operator, Technology, ServerKind, Arc<Ecdf>)],
         op: Operator,
         tech: Technology,
         server: ServerKind,
     ) -> Option<&Ecdf> {
         list.iter()
             .find(|(o, t, s, _)| *o == op && *t == tech && *s == server)
-            .map(|(_, _, _, e)| e)
+            .map(|(_, _, _, e)| &**e)
     }
 
     /// Pool a direction's samples across server kinds for (op, tech).
     pub fn pooled(
-        list: &[(Operator, Technology, ServerKind, Ecdf)],
+        list: &[(Operator, Technology, ServerKind, Arc<Ecdf>)],
         op: Operator,
         tech: Technology,
     ) -> Ecdf {
@@ -128,12 +104,12 @@ impl TechPerf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
     use wheels_ran::Direction as Dir;
 
     #[test]
     fn five_g_outperforms_4g_downlink() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let lte = TechPerf::pooled(&f.dl, op, Technology::Lte);
             let mid = TechPerf::pooled(&f.dl, op, Technology::Nr5gMid);
@@ -153,7 +129,7 @@ mod tests {
     fn tmobile_midband_reaches_high_rates_with_deep_fades() {
         // §5.2: T-Mobile midband up to 760 Mbps DL but 40 % of samples
         // below 2 Mbps (largest fluctuation).
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let mid = TechPerf::pooled(&f.dl, Operator::TMobile, Technology::Nr5gMid);
         assert!(mid.max() > 120.0, "max {}", mid.max());
         assert!(mid.frac_below(5.0) > 0.10, "low tail {}", mid.frac_below(5.0));
@@ -161,7 +137,7 @@ mod tests {
 
     #[test]
     fn verizon_edge_rtt_below_cloud() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         // Pool RTT over techs for edge vs cloud.
         let pool = |server| {
             Ecdf::new(
@@ -185,7 +161,7 @@ mod tests {
 
     #[test]
     fn mmwave_rtt_lowest_for_verizon() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let mm = TechPerf::pooled(&f.rtt, Operator::Verizon, Technology::Nr5gMmWave);
         let lte = TechPerf::pooled(&f.rtt, Operator::Verizon, Technology::Lte);
         if mm.len() > 10 && lte.len() > 10 {
@@ -196,7 +172,7 @@ mod tests {
     #[test]
     fn directions_defined_for_all() {
         let _ = Dir::BOTH;
-        let f = compute(small_db());
+        let f = compute(small_ix());
         assert!(!f.dl.is_empty() && !f.ul.is_empty() && !f.rtt.is_empty());
     }
 }

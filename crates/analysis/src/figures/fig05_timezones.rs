@@ -5,39 +5,34 @@
 //! three carriers, and Verizon's Eastern performance is its worst despite
 //! its best Eastern 5G coverage.
 
+use std::sync::Arc;
+
 use wheels_geo::timezone::Timezone;
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
 use crate::ecdf::Ecdf;
+use crate::index::{AnalysisIndex, EcdfQuery, QueryMetric};
 use crate::render::{cdf_header, cdf_row};
 
 /// Per-(operator, timezone, direction) throughput CDFs.
 #[derive(Debug, Clone)]
 pub struct TimezonePerf {
     /// (op, tz, direction, ECDF of 500 ms samples).
-    pub series: Vec<(Operator, Timezone, Direction, Ecdf)>,
+    pub series: Vec<(Operator, Timezone, Direction, Arc<Ecdf>)>,
 }
 
-/// Compute Fig. 5 from driving throughput tests.
-pub fn compute(db: &ConsolidatedDb) -> TimezonePerf {
+/// Compute Fig. 5 from memoized index queries.
+pub fn compute(ix: &AnalysisIndex<'_>) -> TimezonePerf {
     let mut series = Vec::new();
     for &op in &Operator::ALL {
         for tz in Timezone::ALL {
             for dir in Direction::BOTH {
-                let kind = match dir {
-                    Direction::Downlink => TestKind::ThroughputDl,
-                    Direction::Uplink => TestKind::ThroughputUl,
+                let metric = match dir {
+                    Direction::Downlink => QueryMetric::TputDl,
+                    Direction::Uplink => QueryMetric::TputUl,
                 };
-                let e = Ecdf::new(
-                    db.records
-                        .iter()
-                        .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-                        .flat_map(|r| r.kpi.iter())
-                        .filter(|k| k.timezone == tz)
-                        .filter_map(|k| k.tput_mbps.map(f64::from)),
-                );
+                let e = ix.query(EcdfQuery::metric(op, metric).tz(tz));
                 series.push((op, tz, dir, e));
             }
         }
@@ -77,18 +72,18 @@ impl TimezonePerf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn all_series_present() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         assert_eq!(f.series.len(), 3 * 4 * 2);
     }
 
     #[test]
     fn pacific_beats_mountain_for_tmobile() {
         // §5.3 obs (1) & (3): Pacific strongest, Mountain weak.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let pac = f.get(Operator::TMobile, Timezone::Pacific, Direction::Downlink);
         let mtn = f.get(Operator::TMobile, Timezone::Mountain, Direction::Downlink);
         // Needs a few hundred samples per zone to rise above load noise;
@@ -106,7 +101,7 @@ mod tests {
 
     #[test]
     fn render_contains_zones() {
-        let r = compute(small_db()).render();
+        let r = compute(small_ix()).render();
         assert!(r.contains("Pacific") && r.contains("Eastern"));
     }
 }

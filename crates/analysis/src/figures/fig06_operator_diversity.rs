@@ -10,9 +10,9 @@ use std::collections::HashMap;
 
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 
 /// Technology bin of a concurrent sample pair.
@@ -81,29 +81,22 @@ pub struct OperatorDiversity {
     pub diffs: Vec<PairDiff>,
 }
 
-/// Compute Fig. 6 from concurrent driving throughput tests.
-pub fn compute(db: &ConsolidatedDb) -> OperatorDiversity {
+/// Compute Fig. 6 from the index's concurrent-test pairing maps.
+pub fn compute(ix: &AnalysisIndex<'_>) -> OperatorDiversity {
     let mut diffs = Vec::new();
     for dir in Direction::BOTH {
-        let kind = match dir {
-            Direction::Downlink => TestKind::ThroughputDl,
-            Direction::Uplink => TestKind::ThroughputUl,
-        };
-        // Index tests by rounded start time per operator.
-        let mut by_time: HashMap<(Operator, i64), &TestRecord> = HashMap::new();
-        for r in db.records.iter().filter(|r| !r.is_static && r.kind == kind) {
-            by_time.insert((r.op, r.start_s.round() as i64), r);
-        }
+        let by_time = ix.concurrent_map(dir);
         for pair in PAIRS {
             let mut all = Vec::new();
             let mut bins: HashMap<TechBin, Vec<f64>> = HashMap::new();
-            for ((op, t), ra) in &by_time {
+            for ((op, t), &ra) in by_time {
                 if *op != pair.0 {
                     continue;
                 }
-                let Some(rb) = by_time.get(&(pair.1, *t)) else {
+                let Some(&rb) = by_time.get(&(pair.1, *t)) else {
                     continue;
                 };
+                let (ra, rb) = (ix.record(ra), ix.record(rb));
                 for (ka, kb) in ra.kpi.iter().zip(rb.kpi.iter()) {
                     let (Some(ta), Some(tb)) = (ka.tput_mbps, kb.tput_mbps) else {
                         continue;
@@ -175,11 +168,11 @@ impl OperatorDiversity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn concurrent_pairs_exist() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for d in &f.diffs {
             assert!(
                 d.all.len() > 30,
@@ -194,7 +187,7 @@ mod tests {
     #[test]
     fn htht_bin_is_rare() {
         // §5.4: the HT-HT bin contributes 0.3-10 % of samples.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let d = f.get((Operator::Att, Operator::Verizon), Direction::Uplink);
         let htht = d
             .bin_fractions()
@@ -209,7 +202,7 @@ mod tests {
     fn diversity_spans_zero() {
         // Performance at a location is diverse: differences take both
         // signs (the multi-connectivity motivation).
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for d in &f.diffs {
             if d.all.len() < 100 {
                 continue;
@@ -228,7 +221,7 @@ mod tests {
     fn ht_side_usually_wins_downlink() {
         // When one op is HT and the other LT in DL, the HT side should
         // win most (but not all — §5.4's interesting exception) samples.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let d = f.get((Operator::Verizon, Operator::TMobile), Direction::Downlink);
         let htlt = &d.by_bin.iter().find(|(b, _)| *b == TechBin::HtLt).unwrap().1;
         if htlt.len() > 50 {

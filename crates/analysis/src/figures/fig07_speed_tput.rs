@@ -4,51 +4,43 @@
 //! high mmWave points only at low speed, T-Mobile midband sustaining rates
 //! at highway speed, and overall only a weak speed–throughput correlation.
 
+use std::sync::Arc;
+
 use wheels_geo::SpeedBin;
 use wheels_radio::band::Technology;
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
 use crate::ecdf::Ecdf;
+use crate::index::{AnalysisIndex, EcdfQuery, QueryMetric, KPI_SPEED};
 use crate::render::{cdf_header, cdf_row};
-use crate::stats::pearson;
 
 /// Per (operator, direction, speed bin, technology) sample distributions,
 /// plus the raw speed–throughput correlation.
 #[derive(Debug, Clone)]
 pub struct SpeedTput {
     /// Distribution per cell of the breakdown.
-    pub cells: Vec<(Operator, Direction, SpeedBin, Technology, Ecdf)>,
+    pub cells: Vec<(Operator, Direction, SpeedBin, Technology, Arc<Ecdf>)>,
     /// Pearson r between speed and throughput per (op, dir).
     pub speed_corr: Vec<(Operator, Direction, f64)>,
 }
 
-/// Compute Fig. 7 from driving throughput tests.
-pub fn compute(db: &ConsolidatedDb) -> SpeedTput {
+/// Compute Fig. 7 from memoized index queries. The speed–throughput
+/// Pearson r is the same quantity Table 2 reports, so it comes straight
+/// from the index's correlation table.
+pub fn compute(ix: &AnalysisIndex<'_>) -> SpeedTput {
     let mut cells = Vec::new();
     let mut speed_corr = Vec::new();
     for &op in &Operator::ALL {
         for dir in Direction::BOTH {
-            let kind = match dir {
-                Direction::Downlink => TestKind::ThroughputDl,
-                Direction::Uplink => TestKind::ThroughputUl,
+            let metric = match dir {
+                Direction::Downlink => QueryMetric::TputDl,
+                Direction::Uplink => QueryMetric::TputUl,
             };
-            let samples: Vec<(f64, f64, Technology)> = db
-                .records
-                .iter()
-                .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-                .flat_map(|r| r.kpi.iter())
-                .filter_map(|k| k.tput_mbps.map(|t| (k.speed_mph(), t as f64, k.tech)))
-                .collect();
-            let speeds: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let tputs: Vec<f64> = samples.iter().map(|s| s.1).collect();
-            speed_corr.push((op, dir, pearson(&speeds, &tputs)));
+            speed_corr.push((op, dir, ix.kpi_correlations(op, dir)[KPI_SPEED]));
             for bin in SpeedBin::ALL {
                 for tech in Technology::ALL {
-                    let e = Ecdf::new(samples.iter().filter_map(|(s, t, tc)| {
-                        (SpeedBin::from_mph(*s) == bin && *tc == tech).then_some(*t)
-                    }));
+                    let e = ix.query(EcdfQuery::metric(op, metric).bin(bin).tech(tech));
                     cells.push((op, dir, bin, tech, e));
                 }
             }
@@ -109,11 +101,11 @@ impl SpeedTput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn mmwave_samples_concentrate_at_low_speed() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let low = f.get(
             Operator::Verizon,
             Direction::Downlink,
@@ -137,7 +129,7 @@ mod tests {
     #[test]
     fn speed_correlation_is_weak_negative() {
         // Table 2: speed r between -0.10 and -0.37.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for (op, dir, r) in &f.speed_corr {
             assert!(
                 (-0.6..0.25).contains(r),
@@ -150,7 +142,7 @@ mod tests {
     #[test]
     fn high_speed_bin_has_most_samples() {
         // §5.5: "This [high-speed] region has the maximum number of points".
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let mut low = 0;
         let mut high = 0;
         for op in Operator::ALL {
@@ -168,7 +160,7 @@ mod tests {
     #[test]
     fn tmobile_sustains_rates_on_highway() {
         // §5.5: several 100s of Mbps at 60+ mph for T-Mobile DL.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let e = f.pooled_bin(Operator::TMobile, Direction::Downlink, SpeedBin::High);
         // At fixture scale the highway bin has only a few hundred
         // samples; the full-scale run shows several hundred Mbps.

@@ -5,38 +5,30 @@
 //! only near 0 mph — operators don't elevate ping traffic to mmWave on the
 //! move.
 
+use std::sync::Arc;
+
 use wheels_geo::SpeedBin;
 use wheels_radio::band::Technology;
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
-use super::rtt_with_context;
 use crate::ecdf::Ecdf;
+use crate::index::{AnalysisIndex, EcdfQuery, QueryMetric};
 use crate::render::{cdf_header, cdf_row};
 
 /// Per (operator, speed bin, technology) RTT distributions.
 #[derive(Debug, Clone)]
 pub struct SpeedRtt {
     /// Distribution per cell.
-    pub cells: Vec<(Operator, SpeedBin, Technology, Ecdf)>,
+    pub cells: Vec<(Operator, SpeedBin, Technology, Arc<Ecdf>)>,
 }
 
-/// Compute Fig. 8 from driving RTT tests.
-pub fn compute(db: &ConsolidatedDb) -> SpeedRtt {
+/// Compute Fig. 8 from memoized index queries.
+pub fn compute(ix: &AnalysisIndex<'_>) -> SpeedRtt {
     let mut cells = Vec::new();
     for &op in &Operator::ALL {
-        let samples: Vec<(f64, f64, Technology)> = db
-            .records
-            .iter()
-            .filter(|r| r.op == op && !r.is_static && r.kind == TestKind::Rtt)
-            .flat_map(rtt_with_context)
-            .map(|(rtt, k)| (k.speed_mph(), rtt, k.tech))
-            .collect();
         for bin in SpeedBin::ALL {
             for tech in Technology::ALL {
-                let e = Ecdf::new(samples.iter().filter_map(|(s, r, tc)| {
-                    (SpeedBin::from_mph(*s) == bin && *tc == tech).then_some(*r)
-                }));
+                let e = ix.query(EcdfQuery::metric(op, QueryMetric::Rtt).bin(bin).tech(tech));
                 cells.push((op, bin, tech, e));
             }
         }
@@ -86,11 +78,11 @@ impl SpeedRtt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn rtt_grows_with_speed_for_verizon() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let low = f.pooled_bin(Operator::Verizon, SpeedBin::Low);
         let high = f.pooled_bin(Operator::Verizon, SpeedBin::High);
         if low.len() > 40 && high.len() > 40 {
@@ -107,7 +99,7 @@ mod tests {
     fn mmwave_pings_only_near_standstill() {
         // §5.5 / Fig. 8: mmWave RTT points absent except at very low
         // speeds.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in [Operator::Verizon, Operator::Att] {
             let high = f.get(op, SpeedBin::High, Technology::Nr5gMmWave);
             let mid = f.get(op, SpeedBin::Mid, Technology::Nr5gMmWave);
@@ -121,7 +113,7 @@ mod tests {
 
     #[test]
     fn rtts_are_tens_of_ms() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let e = f.pooled_bin(Operator::TMobile, SpeedBin::High);
         if e.len() > 40 {
             assert!((25.0..220.0).contains(&e.median()), "median {}", e.median());

@@ -2,9 +2,10 @@
 //! throughput and RTT — the 30 s / 20 s timescale of §5.6.
 
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
+use wheels_xcal::database::TestKind;
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 use crate::stats::{mean, std_dev};
 
@@ -34,14 +35,10 @@ pub struct TestStats {
     pub per_op: Vec<OpTestStats>,
 }
 
-fn tput_stats(db: &ConsolidatedDb, op: Operator, kind: TestKind) -> (Ecdf, Ecdf) {
+fn tput_stats(ix: &AnalysisIndex<'_>, op: Operator, kind: TestKind) -> (Ecdf, Ecdf) {
     let mut means = Vec::new();
     let mut stdpcts = Vec::new();
-    for r in db
-        .records
-        .iter()
-        .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-    {
+    for r in ix.records(op, kind, false) {
         let v: Vec<f64> = r.tput_samples().collect();
         if v.len() < 10 {
             continue;
@@ -55,14 +52,10 @@ fn tput_stats(db: &ConsolidatedDb, op: Operator, kind: TestKind) -> (Ecdf, Ecdf)
     (Ecdf::new(means), Ecdf::new(stdpcts))
 }
 
-fn rtt_stats(db: &ConsolidatedDb, op: Operator) -> (Ecdf, Ecdf) {
+fn rtt_stats(ix: &AnalysisIndex<'_>, op: Operator) -> (Ecdf, Ecdf) {
     let mut means = Vec::new();
     let mut stdpcts = Vec::new();
-    for r in db
-        .records
-        .iter()
-        .filter(|r| r.op == op && !r.is_static && r.kind == TestKind::Rtt)
-    {
+    for r in ix.records(op, TestKind::Rtt, false) {
         let v: Vec<f64> = r.rtt_ms.iter().map(|&x| x as f64).collect();
         if v.len() < 10 {
             continue;
@@ -76,15 +69,15 @@ fn rtt_stats(db: &ConsolidatedDb, op: Operator) -> (Ecdf, Ecdf) {
     (Ecdf::new(means), Ecdf::new(stdpcts))
 }
 
-/// Compute Fig. 9 from the driving tests.
-pub fn compute(db: &ConsolidatedDb) -> TestStats {
+/// Compute Fig. 9 from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> TestStats {
     TestStats {
         per_op: Operator::ALL
             .iter()
             .map(|&op| {
-                let (dl_mean, dl_stdpct) = tput_stats(db, op, TestKind::ThroughputDl);
-                let (ul_mean, ul_stdpct) = tput_stats(db, op, TestKind::ThroughputUl);
-                let (rtt_mean, rtt_stdpct) = rtt_stats(db, op);
+                let (dl_mean, dl_stdpct) = tput_stats(ix, op, TestKind::ThroughputDl);
+                let (ul_mean, ul_stdpct) = tput_stats(ix, op, TestKind::ThroughputUl);
+                let (rtt_mean, rtt_stdpct) = rtt_stats(ix, op);
                 OpTestStats {
                     op,
                     dl_mean,
@@ -133,12 +126,12 @@ impl TestStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn per_test_medians_in_papers_range() {
         // §5.6: median DL 30/37/48 Mbps, UL 13/14/10 Mbps, RTT 64/82/81 ms.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             let dl = p.dl_mean.median();
@@ -155,9 +148,9 @@ mod tests {
         // §5.6: "the median throughput is higher than that in Fig. 3
         // (which shows the CDF of 500 ms throughput samples), as the
         // throughput of the samples is long-tailed."
-        let db = small_db();
-        let f = compute(db);
-        let samples = crate::figures::fig03_static_driving::compute(db);
+        let ix = small_ix();
+        let f = compute(ix);
+        let samples = crate::figures::fig03_static_driving::compute(ix);
         for op in Operator::ALL {
             let per_test = f.for_op(op).dl_mean.median();
             let per_sample = samples.for_op(op).driving_dl.median();
@@ -171,7 +164,7 @@ mod tests {
     #[test]
     fn throughput_fluctuates_heavily_within_tests() {
         // §5.6: median std% 45-70 for throughput.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             assert!(p.dl_stdpct.median() > 25.0, "{op} DL std% {}", p.dl_stdpct.median());
@@ -181,7 +174,7 @@ mod tests {
     #[test]
     fn rtt_fluctuates_less_than_throughput() {
         // §5.6: RTT std% medians 18-29 vs 44-70 for throughput.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.rtt_stdpct.is_empty() || p.dl_stdpct.is_empty() {

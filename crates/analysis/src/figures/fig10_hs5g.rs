@@ -5,8 +5,9 @@
 //! or RTT.
 
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
+use wheels_xcal::database::TestKind;
 
+use crate::index::AnalysisIndex;
 use crate::stats::{mean, pearson};
 
 /// Per-test (fraction of time on hs5G, mean metric) scatter per operator.
@@ -20,10 +21,8 @@ pub struct Hs5gScatter {
     pub rtt: Vec<(Operator, Vec<(f64, f64)>)>,
 }
 
-fn scatter(db: &ConsolidatedDb, op: Operator, kind: TestKind) -> Vec<(f64, f64)> {
-    db.records
-        .iter()
-        .filter(|r| r.op == op && !r.is_static && r.kind == kind)
+fn scatter(ix: &AnalysisIndex<'_>, op: Operator, kind: TestKind) -> Vec<(f64, f64)> {
+    ix.records(op, kind, false)
         .filter_map(|r| {
             let y = match kind {
                 TestKind::Rtt => {
@@ -39,12 +38,12 @@ fn scatter(db: &ConsolidatedDb, op: Operator, kind: TestKind) -> Vec<(f64, f64)>
         .collect()
 }
 
-/// Compute Fig. 10.
-pub fn compute(db: &ConsolidatedDb) -> Hs5gScatter {
+/// Compute Fig. 10 from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> Hs5gScatter {
     let per = |kind: TestKind| {
         Operator::ALL
             .iter()
-            .map(|&op| (op, scatter(db, op, kind)))
+            .map(|&op| (op, scatter(ix, op, kind)))
             .collect()
     };
     Hs5gScatter {
@@ -92,11 +91,11 @@ impl Hs5gScatter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn panels_have_points() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for (_, pts) in f.dl.iter().chain(f.ul.iter()).chain(f.rtt.iter()) {
             assert!(!pts.is_empty());
         }
@@ -106,7 +105,7 @@ mod tests {
     fn tmobile_dl_benefits_most_from_midband() {
         // §5.6: only T-Mobile's midband brings a substantial DL
         // improvement.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let t = f
             .dl
             .iter()
@@ -118,7 +117,7 @@ mod tests {
 
     #[test]
     fn hs5g_fraction_in_unit_interval() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for (_, pts) in &f.dl {
             for (x, _) in pts {
                 assert!((0.0..=1.0).contains(x));

@@ -2,9 +2,10 @@
 
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
+use wheels_xcal::database::TestKind;
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 
 /// Per (operator, direction): HOs/mile and HO-duration distributions.
@@ -16,8 +17,8 @@ pub struct HandoverStats {
     pub duration_ms: Vec<(Operator, Direction, Ecdf)>,
 }
 
-/// Compute Fig. 11 from driving throughput tests.
-pub fn compute(db: &ConsolidatedDb) -> HandoverStats {
+/// Compute Fig. 11 from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> HandoverStats {
     let mut per_mile = Vec::new();
     let mut duration_ms = Vec::new();
     for &op in &Operator::ALL {
@@ -26,11 +27,7 @@ pub fn compute(db: &ConsolidatedDb) -> HandoverStats {
                 Direction::Downlink => TestKind::ThroughputDl,
                 Direction::Uplink => TestKind::ThroughputUl,
             };
-            let records: Vec<_> = db
-                .records
-                .iter()
-                .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-                .collect();
+            let records: Vec<_> = ix.records(op, kind, false).collect();
             per_mile.push((
                 op,
                 dir,
@@ -95,12 +92,12 @@ impl HandoverStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn median_hos_per_mile_low() {
         // Fig. 11a: medians 1-3 per mile, 75th percentiles ≤ ~6.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             for dir in Direction::BOTH {
                 let e = f.per_mile_for(op, dir);
@@ -117,7 +114,7 @@ mod tests {
     fn extremes_can_exceed_ten_per_mile() {
         // Fig. 11a: "more than 20 HOs per mile in extreme cases" — at
         // reduced scale we just require a heavy tail.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let max = Operator::ALL
             .iter()
             .map(|&op| f.per_mile_for(op, Direction::Downlink).max())
@@ -128,7 +125,7 @@ mod tests {
     #[test]
     fn durations_match_fig11b() {
         // Medians ≈ 49-76 ms; T-Mobile slowest.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let e = f.duration_for(op, Direction::Downlink);
             if e.len() < 20 {

@@ -11,9 +11,10 @@
 use wheels_ran::handover::HandoverKind;
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+use wheels_xcal::database::{TestKind, TestRecord};
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 
 /// Fig. 12 data per (operator, direction).
@@ -55,8 +56,8 @@ fn deltas(record: &TestRecord) -> Vec<(f64, f64, HandoverKind)> {
         .collect()
 }
 
-/// Compute Fig. 12 from driving throughput tests.
-pub fn compute(db: &ConsolidatedDb) -> HoImpact {
+/// Compute Fig. 12 from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> HoImpact {
     let mut delta_t1 = Vec::new();
     let mut delta_t2 = Vec::new();
     let mut delta_t2_by_kind = Vec::new();
@@ -66,12 +67,8 @@ pub fn compute(db: &ConsolidatedDb) -> HoImpact {
                 Direction::Downlink => TestKind::ThroughputDl,
                 Direction::Uplink => TestKind::ThroughputUl,
             };
-            let all: Vec<(f64, f64, HandoverKind)> = db
-                .records
-                .iter()
-                .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-                .flat_map(deltas)
-                .collect();
+            let all: Vec<(f64, f64, HandoverKind)> =
+                ix.records(op, kind, false).flat_map(deltas).collect();
             delta_t1.push((op, dir, Ecdf::new(all.iter().map(|d| d.0))));
             delta_t2.push((op, dir, Ecdf::new(all.iter().map(|d| d.1))));
             for hk in HandoverKind::ALL {
@@ -160,12 +157,12 @@ impl HoImpact {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn throughput_usually_dips_during_ho() {
         // Fig. 12 top: ΔT1 < 0 around 80 % of the time.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let e = f.t1_for(op, Direction::Downlink);
             if e.len() < 30 {
@@ -179,7 +176,7 @@ mod tests {
     #[test]
     fn post_ho_often_improves() {
         // Fig. 12 bottom: post-HO > pre-HO about 55-60 % of the time.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let e = f.t2_for(op, Direction::Downlink);
             if e.len() < 30 {
@@ -200,7 +197,7 @@ mod tests {
     #[test]
     fn downgrade_hos_hurt_most() {
         // 5G→4G is the type that most often lowers post-HO throughput.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let down = f.t2_kind_for(op, Direction::Downlink, HandoverKind::Down5gTo4g);
             let up = f.t2_kind_for(op, Direction::Downlink, HandoverKind::Up4gTo5g);
@@ -222,7 +219,7 @@ mod tests {
     #[test]
     fn median_dt2_is_small() {
         // §6: "the median throughput difference is very low (0.5-2 Mbps)".
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let e = f.t2_for(op, Direction::Downlink);
             if e.len() < 30 {

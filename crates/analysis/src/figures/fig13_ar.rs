@@ -2,9 +2,10 @@
 
 use wheels_netsim::server::ServerKind;
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+use wheels_xcal::database::{TestKind, TestRecord};
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 use crate::stats::pearson;
 
@@ -38,10 +39,12 @@ pub struct ArResults {
     pub per_op: Vec<OpArResults>,
 }
 
-fn runs(db: &ConsolidatedDb, op: Operator, is_static: bool) -> impl Iterator<Item = &TestRecord> {
-    db.records
-        .iter()
-        .filter(move |r| r.op == op && r.kind == TestKind::AppAr && r.is_static == is_static)
+fn runs<'a>(
+    ix: &'a AnalysisIndex<'a>,
+    op: Operator,
+    is_static: bool,
+) -> impl Iterator<Item = &'a TestRecord> + 'a {
+    ix.records(op, TestKind::AppAr, is_static)
 }
 
 fn metric<'a>(
@@ -58,20 +61,20 @@ fn metric<'a>(
     })
 }
 
-/// Compute AR results from the database.
-pub fn compute(db: &ConsolidatedDb) -> ArResults {
+/// Compute AR results from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> ArResults {
     let per_op = Operator::ALL
         .iter()
         .map(|&op| {
-            let e2e_compressed = Ecdf::new(metric(runs(db, op, false), true, |a| a.e2e_ms_mean));
-            let e2e_raw = Ecdf::new(metric(runs(db, op, false), false, |a| a.e2e_ms_mean));
-            let fps = Ecdf::new(metric(runs(db, op, false), true, |a| a.offload_fps));
-            let map = Ecdf::new(metric(runs(db, op, false), true, |a| a.map_accuracy));
-            let best_static_e2e = metric(runs(db, op, true), true, |a| a.e2e_ms_mean)
+            let e2e_compressed = Ecdf::new(metric(runs(ix, op, false), true, |a| a.e2e_ms_mean));
+            let e2e_raw = Ecdf::new(metric(runs(ix, op, false), false, |a| a.e2e_ms_mean));
+            let fps = Ecdf::new(metric(runs(ix, op, false), true, |a| a.offload_fps));
+            let map = Ecdf::new(metric(runs(ix, op, false), true, |a| a.map_accuracy));
+            let best_static_e2e = metric(runs(ix, op, true), true, |a| a.e2e_ms_mean)
                 .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.min(v))));
-            let best_static_map = metric(runs(db, op, true), true, |a| a.map_accuracy)
+            let best_static_map = metric(runs(ix, op, true), true, |a| a.map_accuracy)
                 .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))));
-            let map_vs_hs5g: Vec<(f64, f64, ServerKind)> = runs(db, op, false)
+            let map_vs_hs5g: Vec<(f64, f64, ServerKind)> = runs(ix, op, false)
                 .filter_map(|r| {
                     let a = r.app.as_ref()?;
                     if a.compressed != Some(true) {
@@ -84,7 +87,7 @@ pub fn compute(db: &ConsolidatedDb) -> ArResults {
                     ))
                 })
                 .collect();
-            let pairs: Vec<(f64, f64)> = runs(db, op, false)
+            let pairs: Vec<(f64, f64)> = runs(ix, op, false)
                 .filter_map(|r| {
                     let a = r.app.as_ref()?;
                     if a.compressed != Some(true) {
@@ -150,12 +153,12 @@ impl ArResults {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::small_db;
+    use crate::figures::test_support::small_ix;
 
     #[test]
     fn driving_e2e_well_above_best_static() {
         // §7.1.1: driving median E2E 214 ms ≈ 3× the 68 ms best static.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let p = f.for_op(Operator::Verizon);
         if let Some(best) = p.best_static_e2e {
             assert!(
@@ -169,7 +172,7 @@ mod tests {
 
     #[test]
     fn compression_reduces_e2e() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.e2e_compressed.len() < 10 || p.e2e_raw.len() < 10 {
@@ -186,7 +189,7 @@ mod tests {
 
     #[test]
     fn map_capped_by_table5_and_degraded_driving() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.map.is_empty() {
@@ -200,7 +203,7 @@ mod tests {
     #[test]
     fn handovers_do_not_correlate_with_map() {
         // §7.1.1 obs (3).
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.map.len() < 30 {
@@ -214,7 +217,7 @@ mod tests {
     #[test]
     fn verizon_leads_on_e2e() {
         // §C.3: Verizon's lower RTT gives the lowest E2E with compression.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let v = f.for_op(Operator::Verizon).e2e_compressed.median();
         let t = f.for_op(Operator::TMobile).e2e_compressed.median();
         if v > 0.0 && t > 0.0 {

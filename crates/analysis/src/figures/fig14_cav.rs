@@ -1,9 +1,10 @@
 //! Fig. 14 (Verizon) / Fig. 20 (all operators): the CAV app.
 
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+use wheels_xcal::database::{TestKind, TestRecord};
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 use crate::stats::pearson;
 
@@ -29,19 +30,17 @@ pub struct CavResults {
     pub per_op: Vec<OpCavResults>,
 }
 
-fn runs(db: &ConsolidatedDb, op: Operator) -> impl Iterator<Item = &TestRecord> {
-    db.records
-        .iter()
-        .filter(move |r| r.op == op && r.kind == TestKind::AppCav && !r.is_static)
+fn runs<'a>(ix: &'a AnalysisIndex<'a>, op: Operator) -> impl Iterator<Item = &'a TestRecord> + 'a {
+    ix.records(op, TestKind::AppCav, false)
 }
 
-/// Compute CAV results.
-pub fn compute(db: &ConsolidatedDb) -> CavResults {
+/// Compute CAV results from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> CavResults {
     let per_op = Operator::ALL
         .iter()
         .map(|&op| {
             let e2e = |compressed: bool| {
-                Ecdf::new(runs(db, op).filter_map(|r| {
+                Ecdf::new(runs(ix, op).filter_map(|r| {
                     let a = r.app.as_ref()?;
                     (a.compressed == Some(compressed))
                         .then_some(a.e2e_ms_mean.map(f64::from))
@@ -55,7 +54,7 @@ pub fn compute(db: &ConsolidatedDb) -> CavResults {
             } else {
                 Some(e2e_compressed.min())
             };
-            let pairs: Vec<(f64, f64)> = runs(db, op)
+            let pairs: Vec<(f64, f64)> = runs(ix, op)
                 .filter_map(|r| {
                     let a = r.app.as_ref()?;
                     if a.compressed != Some(true) {
@@ -112,12 +111,12 @@ impl CavResults {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::small_db;
+    use crate::figures::test_support::small_ix;
 
     #[test]
     fn hundred_ms_budget_unreachable() {
         // §7.1.2: lowest E2E across the whole trip was 148 ms.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             if let Some(min) = f.for_op(op).min_e2e {
                 assert!(min > 100.0, "{op}: min E2E {min}");
@@ -128,7 +127,7 @@ mod tests {
     #[test]
     fn compression_cuts_e2e_several_fold() {
         // §7.1.2: ~8× median reduction.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.e2e_compressed.len() < 10 || p.e2e_raw.len() < 10 {
@@ -142,7 +141,7 @@ mod tests {
     #[test]
     fn driving_median_hundreds_of_ms() {
         // Paper: 269 ms median (compressed) while driving.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let p = f.for_op(Operator::Verizon);
         if p.e2e_compressed.len() >= 10 {
             let m = p.e2e_compressed.median();
@@ -152,7 +151,7 @@ mod tests {
 
     #[test]
     fn no_ho_correlation() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.e2e_compressed.len() < 30 {

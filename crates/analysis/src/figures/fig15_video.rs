@@ -2,9 +2,10 @@
 
 use wheels_netsim::server::ServerKind;
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+use wheels_xcal::database::{TestKind, TestRecord};
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 use crate::stats::pearson;
 
@@ -34,32 +35,34 @@ pub struct VideoResults {
     pub per_op: Vec<OpVideoResults>,
 }
 
-fn sessions(db: &ConsolidatedDb, op: Operator, is_static: bool) -> impl Iterator<Item = &TestRecord> {
-    db.records
-        .iter()
-        .filter(move |r| r.op == op && r.kind == TestKind::AppVideo && r.is_static == is_static)
+fn sessions<'a>(
+    ix: &'a AnalysisIndex<'a>,
+    op: Operator,
+    is_static: bool,
+) -> impl Iterator<Item = &'a TestRecord> + 'a {
+    ix.records(op, TestKind::AppVideo, is_static)
 }
 
-/// Compute video results.
-pub fn compute(db: &ConsolidatedDb) -> VideoResults {
+/// Compute video results from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> VideoResults {
     let per_op = Operator::ALL
         .iter()
         .map(|&op| {
             let qoe = Ecdf::new(
-                sessions(db, op, false).filter_map(|r| r.app.as_ref()?.qoe.map(f64::from)),
+                sessions(ix, op, false).filter_map(|r| r.app.as_ref()?.qoe.map(f64::from)),
             );
             let rebuffer = Ecdf::new(
-                sessions(db, op, false)
+                sessions(ix, op, false)
                     .filter_map(|r| r.app.as_ref()?.rebuffer_frac.map(f64::from)),
             );
             let bitrate = Ecdf::new(
-                sessions(db, op, false)
+                sessions(ix, op, false)
                     .filter_map(|r| r.app.as_ref()?.avg_bitrate_mbps.map(f64::from)),
             );
-            let best_static_qoe = sessions(db, op, true)
+            let best_static_qoe = sessions(ix, op, true)
                 .filter_map(|r| r.app.as_ref()?.qoe.map(f64::from))
                 .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))));
-            let qoe_vs_hs5g: Vec<(f64, f64, ServerKind)> = sessions(db, op, false)
+            let qoe_vs_hs5g: Vec<(f64, f64, ServerKind)> = sessions(ix, op, false)
                 .filter_map(|r| {
                     Some((
                         r.frac_hs5g as f64,
@@ -68,7 +71,7 @@ pub fn compute(db: &ConsolidatedDb) -> VideoResults {
                     ))
                 })
                 .collect();
-            let pairs: Vec<(f64, f64)> = sessions(db, op, false)
+            let pairs: Vec<(f64, f64)> = sessions(ix, op, false)
                 .filter_map(|r| Some((r.handovers.len() as f64, r.app.as_ref()?.qoe? as f64)))
                 .collect();
             let ho_qoe_corr = pearson(
@@ -124,12 +127,12 @@ impl VideoResults {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::small_db;
+    use crate::figures::test_support::small_ix;
 
     #[test]
     fn driving_qoe_far_below_static() {
         // §7.2: driving median -53.75 vs best static 96.29.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let p = f.for_op(Operator::Verizon);
         if let Some(best) = p.best_static_qoe {
             assert!(best > 50.0, "best static QoE {best}");
@@ -140,7 +143,7 @@ mod tests {
     #[test]
     fn many_sessions_negative() {
         // §7.2: QoE negative for ~40 % of driving runs.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let mut total = 0usize;
         let mut neg = 0usize;
         for op in Operator::ALL {
@@ -157,7 +160,7 @@ mod tests {
     #[test]
     fn rebuffering_can_dominate_playback() {
         // §7.2: rebuffering up to 87 % of playback time.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let max = Operator::ALL
             .iter()
             .map(|&op| f.for_op(op).rebuffer.max())
@@ -169,7 +172,7 @@ mod tests {
 
     #[test]
     fn qoe_uncorrelated_with_handovers() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.qoe.len() < 30 {

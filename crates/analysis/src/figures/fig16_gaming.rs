@@ -1,9 +1,10 @@
 //! Fig. 16 (Verizon) / Fig. 22 (all operators): cloud gaming.
 
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::{ConsolidatedDb, TestKind, TestRecord};
+use wheels_xcal::database::{TestKind, TestRecord};
 
 use crate::ecdf::Ecdf;
+use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 use crate::stats::pearson;
 
@@ -31,33 +32,35 @@ pub struct GamingResults {
     pub per_op: Vec<OpGamingResults>,
 }
 
-fn sessions(db: &ConsolidatedDb, op: Operator, is_static: bool) -> impl Iterator<Item = &TestRecord> {
-    db.records
-        .iter()
-        .filter(move |r| r.op == op && r.kind == TestKind::AppGaming && r.is_static == is_static)
+fn sessions<'a>(
+    ix: &'a AnalysisIndex<'a>,
+    op: Operator,
+    is_static: bool,
+) -> impl Iterator<Item = &'a TestRecord> + 'a {
+    ix.records(op, TestKind::AppGaming, is_static)
 }
 
-/// Compute gaming results.
-pub fn compute(db: &ConsolidatedDb) -> GamingResults {
+/// Compute gaming results from the index's record partitions.
+pub fn compute(ix: &AnalysisIndex<'_>) -> GamingResults {
     let per_op = Operator::ALL
         .iter()
         .map(|&op| {
             let bitrate = Ecdf::new(
-                sessions(db, op, false)
+                sessions(ix, op, false)
                     .filter_map(|r| r.app.as_ref()?.send_bitrate_mbps.map(f64::from)),
             );
             let latency = Ecdf::new(
-                sessions(db, op, false)
+                sessions(ix, op, false)
                     .filter_map(|r| r.app.as_ref()?.net_latency_ms.map(f64::from)),
             );
             let frame_drop = Ecdf::new(
-                sessions(db, op, false)
+                sessions(ix, op, false)
                     .filter_map(|r| r.app.as_ref()?.frame_drop_frac.map(f64::from)),
             );
-            let best_static_bitrate = sessions(db, op, true)
+            let best_static_bitrate = sessions(ix, op, true)
                 .filter_map(|r| r.app.as_ref()?.send_bitrate_mbps.map(f64::from))
                 .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))));
-            let pairs: Vec<(f64, f64)> = sessions(db, op, false)
+            let pairs: Vec<(f64, f64)> = sessions(ix, op, false)
                 .filter_map(|r| {
                     Some((
                         r.handovers.len() as f64,
@@ -116,12 +119,12 @@ impl GamingResults {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::small_db;
+    use crate::figures::test_support::small_ix;
 
     #[test]
     fn driving_bitrate_collapses_vs_static() {
         // §7.3: median 17.5 Mbps driving vs 98.5 static.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         let p = f.for_op(Operator::Verizon);
         if let Some(best) = p.best_static_bitrate {
             assert!(best > 60.0, "best static bitrate {best}");
@@ -137,7 +140,7 @@ mod tests {
     #[test]
     fn latency_always_above_static_floor() {
         // §7.3: driving latency always > 17 ms.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let e = &f.for_op(op).latency;
             if e.is_empty() {
@@ -151,7 +154,7 @@ mod tests {
     fn frame_drops_typically_low() {
         // §7.3: median drop rate ~1.6 %, max 13.2 % — the adapter
         // sacrifices latency to protect frames.
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let e = &f.for_op(op).frame_drop;
             if e.len() < 10 {
@@ -163,7 +166,7 @@ mod tests {
 
     #[test]
     fn no_handover_correlation() {
-        let f = compute(small_db());
+        let f = compute(small_ix());
         for op in Operator::ALL {
             let p = f.for_op(op);
             if p.frame_drop.len() < 30 {

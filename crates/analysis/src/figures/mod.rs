@@ -80,8 +80,12 @@ pub(crate) mod test_support {
     use wheels_campaign::{Campaign, CampaignConfig};
     use wheels_xcal::database::ConsolidatedDb;
 
+    use crate::index::AnalysisIndex;
+
     static DB: OnceLock<ConsolidatedDb> = OnceLock::new();
     static NET_DB: OnceLock<ConsolidatedDb> = OnceLock::new();
+    static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+    static NET_IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
 
     /// A small but complete campaign database (all test kinds, statics,
     /// passive loggers) — used by the app-figure tests.
@@ -105,6 +109,16 @@ pub(crate) mod test_support {
             cfg.passive_tick_s = 4.0;
             Campaign::new(cfg).run()
         })
+    }
+
+    /// The analysis index over [`small_db`], built once.
+    pub fn small_ix() -> &'static AnalysisIndex<'static> {
+        IX.get_or_init(|| AnalysisIndex::build(small_db()))
+    }
+
+    /// The analysis index over [`network_db`], built once.
+    pub fn network_ix() -> &'static AnalysisIndex<'static> {
+        NET_IX.get_or_init(|| AnalysisIndex::build(network_db()))
     }
 }
 

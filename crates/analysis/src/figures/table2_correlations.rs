@@ -6,9 +6,8 @@
 
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
-use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
-use crate::stats::pearson;
+use crate::index::AnalysisIndex;
 
 /// The six KPIs of Table 2, in column order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,39 +50,16 @@ pub struct Table2 {
     pub entries: Vec<(Operator, Direction, Kpi, f64)>,
 }
 
-/// Compute Table 2 from driving throughput tests.
-pub fn compute(db: &ConsolidatedDb) -> Table2 {
+/// Assemble Table 2 from the index's pre-computed correlation rows
+/// ([`crate::index::KPI_COLUMNS`] Pearson r values per (op, dir), in
+/// [`Kpi::ALL`] column order).
+pub fn compute(ix: &AnalysisIndex<'_>) -> Table2 {
     let mut entries = Vec::new();
     for &op in &Operator::ALL {
         for dir in Direction::BOTH {
-            let kind = match dir {
-                Direction::Downlink => TestKind::ThroughputDl,
-                Direction::Uplink => TestKind::ThroughputUl,
-            };
-            let rows: Vec<_> = db
-                .records
-                .iter()
-                .filter(|r| r.op == op && !r.is_static && r.kind == kind)
-                .flat_map(|r| r.kpi.iter())
-                .filter(|k| k.tput_mbps.is_some())
-                .collect();
-            let tput: Vec<f64> = rows
-                .iter()
-                .map(|k| k.tput_mbps.expect("filtered") as f64)
-                .collect();
-            for kpi in Kpi::ALL {
-                let x: Vec<f64> = rows
-                    .iter()
-                    .map(|k| match kpi {
-                        Kpi::Rsrp => k.rsrp_dbm as f64,
-                        Kpi::Mcs => k.mcs as f64,
-                        Kpi::Ca => k.ca as f64,
-                        Kpi::Bler => k.bler as f64,
-                        Kpi::Speed => k.speed_mph(),
-                        Kpi::Handover => k.handovers_in_window as f64,
-                    })
-                    .collect();
-                entries.push((op, dir, kpi, pearson(&x, &tput)));
+            let rs = ix.kpi_correlations(op, dir);
+            for (j, kpi) in Kpi::ALL.into_iter().enumerate() {
+                entries.push((op, dir, kpi, rs[j]));
             }
         }
     }
@@ -125,12 +101,12 @@ impl Table2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn no_kpi_correlates_strongly() {
         // The paper's key finding: |r| stays below ~0.65 everywhere.
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for (op, dir, kpi, r) in &t.entries {
             assert!(
                 r.abs() < 0.75,
@@ -144,7 +120,7 @@ mod tests {
     #[test]
     fn handover_correlation_near_zero() {
         // Table 2: HO column is -0.02..-0.05 for everyone.
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for op in Operator::ALL {
             for dir in Direction::BOTH {
                 let r = t.r(op, dir, Kpi::Handover);
@@ -155,7 +131,7 @@ mod tests {
 
     #[test]
     fn speed_correlation_weakly_negative() {
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for op in Operator::ALL {
             let r = t.r(op, Direction::Downlink, Kpi::Speed);
             assert!(r < 0.15, "{op}: speed r = {r}");
@@ -165,7 +141,7 @@ mod tests {
     #[test]
     fn verizon_dl_rsrp_below_att_dl_rsrp() {
         // The beamwidth paradox: Verizon DL RSRP r ≈ 0.06 vs AT&T 0.35.
-        let t = compute(small_db());
+        let t = compute(small_ix());
         let v = t.r(Operator::Verizon, Direction::Downlink, Kpi::Rsrp);
         let a = t.r(Operator::Att, Direction::Downlink, Kpi::Rsrp);
         assert!(v < a + 0.30, "V {v} vs A {a}");
@@ -173,7 +149,7 @@ mod tests {
 
     #[test]
     fn mcs_positively_correlated() {
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for op in Operator::ALL {
             for dir in Direction::BOTH {
                 let r = t.r(op, dir, Kpi::Mcs);
@@ -184,7 +160,7 @@ mod tests {
 
     #[test]
     fn render_has_all_rows() {
-        let r = compute(small_db()).render();
+        let r = compute(small_ix()).render();
         for op in Operator::ALL {
             assert!(r.contains(op.label()));
         }

@@ -2,9 +2,9 @@
 
 use wheels_campaign::ookla::{ookla_q3_2022, Table3Row};
 use wheels_ran::operator::Operator;
-use wheels_xcal::database::ConsolidatedDb;
 
 use super::fig09_test_stats;
+use crate::index::AnalysisIndex;
 
 /// The full Table 3.
 #[derive(Debug, Clone)]
@@ -15,8 +15,8 @@ pub struct Table3 {
 
 /// Compute Table 3: our side from per-test medians (same statistic as
 /// Fig. 9), Speedtest side from the published report.
-pub fn compute(db: &ConsolidatedDb) -> Table3 {
-    let stats = fig09_test_stats::compute(db);
+pub fn compute(ix: &AnalysisIndex<'_>) -> Table3 {
+    let stats = fig09_test_stats::compute(ix);
     let rows = Operator::ALL
         .iter()
         .map(|&op| {
@@ -69,13 +69,13 @@ impl Table3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db as small_db;
+    use crate::figures::test_support::network_ix as small_ix;
 
     #[test]
     fn our_dl_below_speedtest() {
         // §5.6: our driving DL medians are significantly lower than
         // Ookla's (static users, nearby servers, multi-connection).
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for r in &t.rows {
             assert!(
                 r.our_dl_mbps < r.speedtest_dl_mbps * 1.3,
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn our_ul_comparable_or_higher() {
         // §5.6: slightly higher UL in our data.
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for r in &t.rows {
             assert!(
                 r.our_ul_mbps > r.speedtest_ul_mbps * 0.3,
@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn our_rtt_at_or_above_speedtest() {
-        let t = compute(small_db());
+        let t = compute(small_ix());
         for r in &t.rows {
             assert!(
                 r.our_rtt_ms > r.speedtest_rtt_ms * 0.7,
@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn render_has_three_rows() {
-        let s = compute(small_db()).render();
+        let s = compute(small_ix()).render();
         assert!(s.contains("Verizon") && s.contains("T-Mobile") && s.contains("AT&T"));
         assert!(s.contains("116.14"));
     }

@@ -15,10 +15,12 @@
 pub mod binning;
 pub mod ecdf;
 pub mod figures;
+pub mod index;
 pub mod map;
 pub mod render;
 pub mod report;
 pub mod stats;
 
 pub use ecdf::Ecdf;
+pub use index::AnalysisIndex;
 pub use stats::{mean, pearson, percentile, std_dev};

@@ -1,10 +1,21 @@
 //! One-call full report: every table and figure rendered into a single
 //! markdown document (what `repro all` prints, with section headers).
+//!
+//! Sections are generated from a shared [`AnalysisIndex`] and can be
+//! fanned out across worker threads ([`generate_jobs`]). The fan-out uses
+//! the same atomic-counter work queue as `wheels-campaign`'s executor:
+//! each worker claims section slots with a `fetch_add`, writes the
+//! rendered body into that slot, and the assembler concatenates slots in
+//! definition order — so the report is byte-identical at any job count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use wheels_geo::route::Route;
 use wheels_xcal::database::ConsolidatedDb;
 
 use crate::figures as figs;
+use crate::index::AnalysisIndex;
 use crate::map::render_fig1_maps;
 
 /// Section of the full report.
@@ -18,126 +29,127 @@ pub struct Section {
     pub body: String,
 }
 
-/// Render every paper artifact (plus the coverage maps and the MPTCP
-/// extension) from a campaign database.
-pub fn sections(db: &ConsolidatedDb, route: &Route) -> Vec<Section> {
-    let total_m = route.total_m();
-    vec![
-        Section {
-            id: "fig1",
-            title: "Fig. 1 — passive vs active coverage views",
-            body: format!(
-                "{}\n{}",
-                figs::fig01_coverage_views::compute(db).render(),
-                render_fig1_maps(db, total_m, 96)
-            ),
-        },
-        Section {
-            id: "fig2",
-            title: "Fig. 2 — technology coverage",
-            body: figs::fig02_coverage::compute(db).render(),
-        },
-        Section {
-            id: "fig3",
-            title: "Fig. 3 — static vs driving performance",
-            body: figs::fig03_static_driving::compute(db).render(),
-        },
-        Section {
-            id: "fig4",
-            title: "Fig. 4 — per-technology performance",
-            body: figs::fig04_tech_perf::compute(db).render(),
-        },
-        Section {
-            id: "fig5",
-            title: "Fig. 5 — throughput by timezone",
-            body: figs::fig05_timezones::compute(db).render(),
-        },
-        Section {
-            id: "fig6",
-            title: "Fig. 6 — operator diversity",
-            body: figs::fig06_operator_diversity::compute(db).render(),
-        },
-        Section {
-            id: "fig7",
-            title: "Fig. 7 — throughput vs speed",
-            body: figs::fig07_speed_tput::compute(db).render(),
-        },
-        Section {
-            id: "fig8",
-            title: "Fig. 8 — RTT vs speed",
-            body: figs::fig08_speed_rtt::compute(db).render(),
-        },
-        Section {
-            id: "table2",
-            title: "Table 2 — KPI correlations",
-            body: figs::table2_correlations::compute(db).render(),
-        },
-        Section {
-            id: "fig9",
-            title: "Fig. 9 — per-test statistics",
-            body: figs::fig09_test_stats::compute(db).render(),
-        },
-        Section {
-            id: "fig10",
-            title: "Fig. 10 — performance vs hs5G time",
-            body: figs::fig10_hs5g::compute(db).render(),
-        },
-        Section {
-            id: "table3",
-            title: "Table 3 — Ookla comparison",
-            body: figs::table3_ookla::compute(db).render(),
-        },
-        Section {
-            id: "fig11",
-            title: "Fig. 11 — handover statistics",
-            body: figs::fig11_handovers::compute(db).render(),
-        },
-        Section {
-            id: "fig12",
-            title: "Fig. 12 — handover impact",
-            body: figs::fig12_ho_impact::compute(db).render(),
-        },
-        Section {
-            id: "fig13",
-            title: "Fig. 13/18/19 — AR",
-            body: figs::fig13_ar::compute(db).render(),
-        },
-        Section {
-            id: "fig14",
-            title: "Fig. 14/20 — CAV",
-            body: figs::fig14_cav::compute(db).render(),
-        },
-        Section {
-            id: "fig15",
-            title: "Fig. 15/21 — 360° video",
-            body: figs::fig15_video::compute(db).render(),
-        },
-        Section {
-            id: "fig16",
-            title: "Fig. 16/22 — cloud gaming",
-            body: figs::fig16_gaming::compute(db).render(),
-        },
-        Section {
-            id: "ext-mptcp",
-            title: "Extension — MPTCP over three operators",
-            body: figs::ext_multipath::compute(db).render(),
-        },
-    ]
+/// (id, title) of every report section, in presentation order.
+pub const SECTION_DEFS: [(&str, &str); 19] = [
+    ("fig1", "Fig. 1 — passive vs active coverage views"),
+    ("fig2", "Fig. 2 — technology coverage"),
+    ("fig3", "Fig. 3 — static vs driving performance"),
+    ("fig4", "Fig. 4 — per-technology performance"),
+    ("fig5", "Fig. 5 — throughput by timezone"),
+    ("fig6", "Fig. 6 — operator diversity"),
+    ("fig7", "Fig. 7 — throughput vs speed"),
+    ("fig8", "Fig. 8 — RTT vs speed"),
+    ("table2", "Table 2 — KPI correlations"),
+    ("fig9", "Fig. 9 — per-test statistics"),
+    ("fig10", "Fig. 10 — performance vs hs5G time"),
+    ("table3", "Table 3 — Ookla comparison"),
+    ("fig11", "Fig. 11 — handover statistics"),
+    ("fig12", "Fig. 12 — handover impact"),
+    ("fig13", "Fig. 13/18/19 — AR"),
+    ("fig14", "Fig. 14/20 — CAV"),
+    ("fig15", "Fig. 15/21 — 360° video"),
+    ("fig16", "Fig. 16/22 — cloud gaming"),
+    ("ext-mptcp", "Extension — MPTCP over three operators"),
+];
+
+/// Render one section body from the shared index.
+fn body(ix: &AnalysisIndex<'_>, route: &Route, id: &str) -> String {
+    match id {
+        "fig1" => format!(
+            "{}\n{}",
+            figs::fig01_coverage_views::compute(ix).render(),
+            render_fig1_maps(ix.db(), route.total_m(), 96)
+        ),
+        "fig2" => figs::fig02_coverage::compute(ix).render(),
+        "fig3" => figs::fig03_static_driving::compute(ix).render(),
+        "fig4" => figs::fig04_tech_perf::compute(ix).render(),
+        "fig5" => figs::fig05_timezones::compute(ix).render(),
+        "fig6" => figs::fig06_operator_diversity::compute(ix).render(),
+        "fig7" => figs::fig07_speed_tput::compute(ix).render(),
+        "fig8" => figs::fig08_speed_rtt::compute(ix).render(),
+        "table2" => figs::table2_correlations::compute(ix).render(),
+        "fig9" => figs::fig09_test_stats::compute(ix).render(),
+        "fig10" => figs::fig10_hs5g::compute(ix).render(),
+        "table3" => figs::table3_ookla::compute(ix).render(),
+        "fig11" => figs::fig11_handovers::compute(ix).render(),
+        "fig12" => figs::fig12_ho_impact::compute(ix).render(),
+        "fig13" => figs::fig13_ar::compute(ix).render(),
+        "fig14" => figs::fig14_cav::compute(ix).render(),
+        "fig15" => figs::fig15_video::compute(ix).render(),
+        "fig16" => figs::fig16_gaming::compute(ix).render(),
+        "ext-mptcp" => figs::ext_multipath::compute(ix).render(),
+        other => unreachable!("unknown section id {other}"),
+    }
 }
 
-/// The full report as one markdown string.
-pub fn generate(db: &ConsolidatedDb, route: &Route) -> String {
+/// Render every paper artifact (plus the coverage maps and the MPTCP
+/// extension) from a shared analysis index, fanned out over `jobs`
+/// worker threads. Output order (and bytes) is independent of `jobs`.
+pub fn sections_jobs(ix: &AnalysisIndex<'_>, route: &Route, jobs: usize) -> Vec<Section> {
+    let jobs = jobs.max(1).min(SECTION_DEFS.len());
+    let slots: Vec<Mutex<Option<String>>> =
+        SECTION_DEFS.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= SECTION_DEFS.len() {
+                    break;
+                }
+                let rendered = body(ix, route, SECTION_DEFS[i].0);
+                *slots[i].lock().expect("section slot poisoned") = Some(rendered);
+            });
+        }
+    });
+    SECTION_DEFS
+        .iter()
+        .zip(slots)
+        .map(|(&(id, title), slot)| Section {
+            id,
+            title,
+            body: slot
+                .into_inner()
+                .expect("section slot poisoned")
+                .expect("every slot filled"),
+        })
+        .collect()
+}
+
+/// Render every section sequentially from a shared analysis index.
+pub fn sections_from(ix: &AnalysisIndex<'_>, route: &Route) -> Vec<Section> {
+    sections_jobs(ix, route, 1)
+}
+
+/// Render every section from a raw database (builds a temporary index).
+pub fn sections(db: &ConsolidatedDb, route: &Route) -> Vec<Section> {
+    sections_from(&AnalysisIndex::build(db), route)
+}
+
+/// Assemble rendered sections into the final markdown document.
+fn assemble(secs: Vec<Section>) -> String {
     let mut out = String::from("# Campaign report\n\n");
-    for s in sections(db, route) {
+    for s in secs {
         out.push_str(&format!("## {}\n\n```\n{}\n```\n\n", s.title, s.body.trim_end()));
     }
     out
 }
 
+/// The full report as one markdown string, generated with `jobs` worker
+/// threads over a shared index. Byte-identical for every job count.
+pub fn generate_jobs(ix: &AnalysisIndex<'_>, route: &Route, jobs: usize) -> String {
+    assemble(sections_jobs(ix, route, jobs))
+}
+
+/// The full report as one markdown string (single-threaded).
+pub fn generate(db: &ConsolidatedDb, route: &Route) -> String {
+    assemble(sections(db, route))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::test_support::network_db;
+    use crate::figures::test_support::{network_db, network_ix};
 
     #[test]
     fn report_contains_every_artifact() {
@@ -145,12 +157,28 @@ mod tests {
         let route = Route::cross_country();
         let secs = sections(db, &route);
         assert_eq!(secs.len(), 19);
-        for s in &secs {
+        for (s, (id, title)) in secs.iter().zip(SECTION_DEFS) {
             assert!(!s.body.trim().is_empty(), "{} is empty", s.id);
+            assert_eq!(s.id, id);
+            assert_eq!(s.title, title);
         }
         let report = generate(db, &route);
         for title in ["Fig. 2", "Table 2", "Fig. 12", "MPTCP"] {
             assert!(report.contains(title), "missing {title}");
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical() {
+        let ix = network_ix();
+        let route = Route::cross_country();
+        let sequential = generate_jobs(ix, &route, 1);
+        for jobs in [2, 4, 19] {
+            assert_eq!(
+                sequential,
+                generate_jobs(ix, &route, jobs),
+                "report differs at {jobs} jobs"
+            );
         }
     }
 }

@@ -24,7 +24,7 @@ pub fn percentile(v: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut s: Vec<f64> = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    s.sort_by(f64::total_cmp);
     percentile_sorted(&s, p)
 }
 

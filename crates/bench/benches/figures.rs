@@ -8,6 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::OnceLock;
 
 use wheels_analysis::figures as figs;
+use wheels_analysis::AnalysisIndex;
 use wheels_bench::{run_campaign, ReproScale};
 use wheels_campaign::stats::Table1;
 use wheels_xcal::database::ConsolidatedDb;
@@ -17,14 +18,19 @@ fn db() -> &'static (wheels_campaign::Campaign, ConsolidatedDb) {
     DB.get_or_init(|| run_campaign(ReproScale::Smoke, 2026))
 }
 
+fn ix() -> &'static AnalysisIndex<'static> {
+    static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| AnalysisIndex::build(&db().1))
+}
+
 macro_rules! fig_bench {
     ($fn_name:ident, $bench_name:expr, $module:ident) => {
         fn $fn_name(c: &mut Criterion) {
-            let (_, database) = db();
+            let index = ix();
             // Print the reduced-scale artifact once for the bench log.
-            eprintln!("{}", figs::$module::compute(database).render());
+            eprintln!("{}", figs::$module::compute(index).render());
             c.bench_function($bench_name, |b| {
-                b.iter(|| black_box(figs::$module::compute(database)))
+                b.iter(|| black_box(figs::$module::compute(index)))
             });
         }
     };

@@ -5,12 +5,19 @@
 //! cargo run --release -p wheels-bench --bin repro -- fig3 table2
 //! cargo run --release -p wheels-bench --bin repro -- --scale quarter all
 //! cargo run --release -p wheels-bench --bin repro -- --export dataset.json all
-//! cargo run --release -p wheels-bench --bin repro -- --jobs 4 all
+//! cargo run --release -p wheels-bench --bin repro -- --jobs 4 --fig-jobs 4 all
 //! cargo run --release -p wheels-bench --bin repro -- --fault-profile harsh table1
+//! cargo run --release -p wheels-bench --bin repro -- --timings all
 //! ```
 //!
-//! `--jobs N` runs the campaign's work units on N worker threads; the
-//! dataset (and every figure) is byte-identical to the sequential run.
+//! `--jobs N` runs the campaign's work units on N worker threads;
+//! `--fig-jobs N` fans figure/table rendering out the same way. The
+//! dataset (and every figure) is byte-identical to the sequential run at
+//! any job count.
+//!
+//! `--timings` prints a phase breakdown (campaign / index build / figures
+//! / export) to stderr; `--timings-json FILE` writes the same breakdown
+//! as JSON (what ci.sh stores as `BENCH_report.json`).
 //!
 //! `--fault-profile none|paper|harsh` injects deterministic apparatus
 //! faults (probe crashes, server outages, modem detaches, timeouts); the
@@ -20,18 +27,24 @@
 //! FILE`, the per-unit integrity report lands in `FILE.integrity.json`.
 
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use wheels_analysis::figures as figs;
+use wheels_analysis::AnalysisIndex;
 use wheels_bench::{run_campaign_supervised, FaultOpts, ReproScale, EXPERIMENTS};
 use wheels_campaign::stats::Table1;
 use wheels_campaign::FaultProfile;
-use wheels_xcal::database::ConsolidatedDb;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ReproScale::Full;
     let mut seed = 2026u64;
     let mut jobs = 1usize;
+    let mut fig_jobs = 1usize;
+    let mut timings = false;
+    let mut timings_json: Option<String> = None;
     let mut faults = FaultOpts::default();
     let mut export: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -71,6 +84,25 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--fig-jobs" => {
+                i += 1;
+                fig_jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--fig-jobs needs a positive worker count");
+                        std::process::exit(2);
+                    });
+            }
+            "--timings" => timings = true,
+            "--timings-json" => {
+                i += 1;
+                timings_json = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--timings-json needs a path");
+                    std::process::exit(2);
+                }));
+            }
             "--fault-profile" => {
                 i += 1;
                 faults.profile = args
@@ -106,6 +138,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] \
+                   [--fig-jobs N] [--timings] [--timings-json FILE] \
                    [--fault-profile none|paper|harsh] [--max-retries N] [--fail-fast] \
                    [--export FILE] <id...|all>");
         eprintln!("ids: {}", EXPERIMENTS.join(" "));
@@ -117,7 +150,7 @@ fn main() {
         "running campaign (scale {scale:?}, seed {seed}, jobs {jobs}, faults {})...",
         faults.profile.label()
     );
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
     let (campaign, outcome) = match run_campaign_supervised(scale, seed, jobs, faults) {
         Ok(r) => r,
         Err(abort) => {
@@ -127,14 +160,21 @@ fn main() {
     };
     let db = outcome.db;
     let integrity = outcome.integrity;
+    let campaign_elapsed = t0.elapsed();
     eprintln!(
         "campaign done in {:.1?}: {} test records, {} KPI samples",
-        t0.elapsed(),
+        campaign_elapsed,
         db.records.len(),
         db.records.iter().map(|r| r.kpi.len()).sum::<usize>()
     );
     eprintln!("{}", integrity.summary());
 
+    let t1 = Instant::now();
+    let ix = AnalysisIndex::build(&db);
+    let index_elapsed = t1.elapsed();
+
+    let t2 = Instant::now();
+    let mut export_elapsed = Duration::ZERO;
     if let Some(path) = export {
         let json = wheels_xcal::export::to_json(&db).expect("database serializes");
         std::fs::write(&path, json).expect("write export file");
@@ -143,17 +183,73 @@ fn main() {
         let report_path = format!("{path}.integrity.json");
         std::fs::write(&report_path, report).expect("write integrity report");
         eprintln!("dataset exported to {path}, integrity report to {report_path}");
+        export_elapsed = t2.elapsed();
     }
+
+    // Render the requested artifacts on `fig_jobs` workers with the same
+    // atomic-counter queue as the campaign executor, then print in request
+    // order — stdout bytes are identical at any --fig-jobs value.
+    let t3 = Instant::now();
+    let slots: Vec<Mutex<Option<String>>> = wanted.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = fig_jobs.min(wanted.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= wanted.len() {
+                    break;
+                }
+                let text = render_one(&wanted[i], &campaign, &ix, fig_jobs);
+                *slots[i].lock().expect("render slot poisoned") = Some(text);
+            });
+        }
+    });
+    let figures_elapsed = t3.elapsed();
 
     let out = std::io::stdout();
     let mut out = out.lock();
-    for id in &wanted {
-        let text = render_one(id, &campaign, &db);
+    for slot in slots {
+        let text = slot
+            .into_inner()
+            .expect("render slot poisoned")
+            .expect("every artifact rendered");
         writeln!(out, "{text}").expect("stdout");
+    }
+    drop(out);
+
+    if timings {
+        eprintln!(
+            "timings: campaign {:.3}s, index build {:.3}s, figures {:.3}s ({} ids, {} fig jobs), export {:.3}s",
+            campaign_elapsed.as_secs_f64(),
+            index_elapsed.as_secs_f64(),
+            figures_elapsed.as_secs_f64(),
+            wanted.len(),
+            fig_jobs,
+            export_elapsed.as_secs_f64(),
+        );
+    }
+    if let Some(path) = timings_json {
+        let json = format!(
+            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6}\n}}\n",
+            wanted.len(),
+            campaign_elapsed.as_secs_f64(),
+            index_elapsed.as_secs_f64(),
+            figures_elapsed.as_secs_f64(),
+            export_elapsed.as_secs_f64(),
+        );
+        std::fs::write(&path, json).expect("write timings json");
+        eprintln!("timings written to {path}");
     }
 }
 
-fn render_one(id: &str, campaign: &wheels_campaign::Campaign, db: &ConsolidatedDb) -> String {
+fn render_one(
+    id: &str,
+    campaign: &wheels_campaign::Campaign,
+    ix: &AnalysisIndex<'_>,
+    fig_jobs: usize,
+) -> String {
+    let db = ix.db();
     match id {
         "table1" => format!(
             "Table 1 — driving dataset statistics\n{}",
@@ -161,37 +257,39 @@ fn render_one(id: &str, campaign: &wheels_campaign::Campaign, db: &ConsolidatedD
         ),
         "fig1" => format!(
             "{}\n{}",
-            figs::fig01_coverage_views::compute(db).render(),
+            figs::fig01_coverage_views::compute(ix).render(),
             wheels_analysis::map::render_fig1_maps(
                 db,
                 campaign.plan().route().total_m(),
                 96
             )
         ),
-        "fig2" => figs::fig02_coverage::compute(db).render(),
-        "fig3" => figs::fig03_static_driving::compute(db).render(),
-        "fig4" => figs::fig04_tech_perf::compute(db).render(),
-        "fig5" => figs::fig05_timezones::compute(db).render(),
-        "fig6" => figs::fig06_operator_diversity::compute(db).render(),
-        "fig7" => figs::fig07_speed_tput::compute(db).render(),
-        "fig8" => figs::fig08_speed_rtt::compute(db).render(),
-        "table2" => figs::table2_correlations::compute(db).render(),
-        "fig9" => figs::fig09_test_stats::compute(db).render(),
-        "fig10" => figs::fig10_hs5g::compute(db).render(),
-        "table3" => figs::table3_ookla::compute(db).render(),
-        "fig11" => figs::fig11_handovers::compute(db).render(),
-        "fig12" => figs::fig12_ho_impact::compute(db).render(),
+        "fig2" => figs::fig02_coverage::compute(ix).render(),
+        "fig3" => figs::fig03_static_driving::compute(ix).render(),
+        "fig4" => figs::fig04_tech_perf::compute(ix).render(),
+        "fig5" => figs::fig05_timezones::compute(ix).render(),
+        "fig6" => figs::fig06_operator_diversity::compute(ix).render(),
+        "fig7" => figs::fig07_speed_tput::compute(ix).render(),
+        "fig8" => figs::fig08_speed_rtt::compute(ix).render(),
+        "table2" => figs::table2_correlations::compute(ix).render(),
+        "fig9" => figs::fig09_test_stats::compute(ix).render(),
+        "fig10" => figs::fig10_hs5g::compute(ix).render(),
+        "table3" => figs::table3_ookla::compute(ix).render(),
+        "fig11" => figs::fig11_handovers::compute(ix).render(),
+        "fig12" => figs::fig12_ho_impact::compute(ix).render(),
         "table4" => format!(
             "Table 4 — AR/CAV configuration\n{}",
             wheels_apps::config::render_table4()
         ),
         "table5" => render_table5(),
-        "fig13" => figs::fig13_ar::compute(db).render(),
-        "fig14" => figs::fig14_cav::compute(db).render(),
-        "fig15" => figs::fig15_video::compute(db).render(),
-        "fig16" => figs::fig16_gaming::compute(db).render(),
-        "ext-mptcp" => figs::ext_multipath::compute(db).render(),
-        "report" => wheels_analysis::report::generate(db, campaign.plan().route()),
+        "fig13" => figs::fig13_ar::compute(ix).render(),
+        "fig14" => figs::fig14_cav::compute(ix).render(),
+        "fig15" => figs::fig15_video::compute(ix).render(),
+        "fig16" => figs::fig16_gaming::compute(ix).render(),
+        "ext-mptcp" => figs::ext_multipath::compute(ix).render(),
+        "report" => {
+            wheels_analysis::report::generate_jobs(ix, campaign.plan().route(), fig_jobs)
+        }
         other => format!("unknown experiment id: {other}"),
     }
 }

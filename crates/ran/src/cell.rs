@@ -109,11 +109,7 @@ impl CellDb {
         let window = tech.nominal_range_m() * 2.0;
         self.cells_near(tech, od_m, window)
             .iter()
-            .min_by(|a, b| {
-                a.distance_m(od_m)
-                    .partial_cmp(&b.distance_m(od_m))
-                    .expect("distances are finite")
-            })
+            .min_by(|a, b| a.distance_m(od_m).total_cmp(&b.distance_m(od_m)))
     }
 }
 

@@ -52,6 +52,13 @@ pub struct LayerCandidate {
     pub second_cell: Option<CellId>,
 }
 
+/// A shadowing field plus the odometer position it was last queried at.
+#[derive(Debug)]
+struct ShadowEntry {
+    field: ShadowingField,
+    last_od_m: f64,
+}
+
 /// Per-UE store of shadowing fields, one per cell actually evaluated.
 ///
 /// Fields are seeded from (UE seed, cell id) so every UE sees its own
@@ -60,7 +67,7 @@ pub struct LayerCandidate {
 #[derive(Debug)]
 pub struct ShadowStore {
     seed: u64,
-    fields: HashMap<CellId, ShadowingField>,
+    fields: HashMap<CellId, ShadowEntry>,
     steps_since_prune: u32,
 }
 
@@ -83,25 +90,30 @@ impl ShadowStore {
             Technology::Nr5gMid => (6.0, 60.0),
             _ => (5.5, 90.0),
         };
-        self.fields
-            .entry(cell)
-            .or_insert_with(|| ShadowingField::new(sigma, corr, seed))
-            .at(od_m)
+        let entry = self.fields.entry(cell).or_insert_with(|| ShadowEntry {
+            field: ShadowingField::new(sigma, corr, seed),
+            last_od_m: od_m,
+        });
+        entry.last_od_m = od_m;
+        entry.field.at(od_m)
     }
 
     /// Drop fields for cells left far behind; call occasionally.
+    ///
+    /// Every cell within radio range of the vehicle is re-queried on every
+    /// step, so a field's `last_od_m` tracks the vehicle as long as its cell
+    /// is reachable; once a cell falls out of its layer's query window the
+    /// (non-decreasing) odometer guarantees it can never re-enter. Dropping
+    /// fields last touched more than `keep_window_m` behind `od_m` is thus
+    /// byte-identical to never pruning, provided `keep_window_m` exceeds
+    /// every layer's query window (max `nominal_range_m() * 2.0` = 14 km).
     pub fn maybe_prune(&mut self, od_m: f64, keep_window_m: f64) {
         self.steps_since_prune += 1;
         if self.steps_since_prune < 2_000 {
             return;
         }
         self.steps_since_prune = 0;
-        // We can't know a field's cell position from the field itself, so
-        // prune by size: keep the map bounded.
-        if self.fields.len() > 512 {
-            self.fields.clear();
-            let _ = (od_m, keep_window_m);
-        }
+        self.fields.retain(|_, e| e.last_od_m >= od_m - keep_window_m);
     }
 
     /// Number of live shadowing fields (diagnostics).
@@ -320,14 +332,53 @@ mod tests {
     }
 
     #[test]
-    fn shadow_store_prunes_when_large() {
+    fn shadow_store_prunes_cells_left_behind() {
         let mut sh = ShadowStore::new(5);
         for i in 0..600 {
-            let _ = sh.shadow_db(CellId(i), Technology::Lte, i as f64);
+            let _ = sh.shadow_db(CellId(i), Technology::Lte, i as f64 * 100.0);
         }
         for _ in 0..2_001 {
             sh.maybe_prune(1_000_000.0, 10_000.0);
         }
-        assert!(sh.len() < 600);
+        assert!(sh.is_empty(), "all cells lie ~940+ km behind the window");
+    }
+
+    #[test]
+    fn shadow_store_prune_keeps_window() {
+        let mut sh = ShadowStore::new(5);
+        for i in 0..600 {
+            let _ = sh.shadow_db(CellId(i), Technology::Lte, i as f64 * 100.0);
+        }
+        // Vehicle at 59.9 km; a 10 km window keeps cells touched at ≥ 49.9 km
+        // (inclusive): ids 499..=599.
+        for _ in 0..2_001 {
+            sh.maybe_prune(59_900.0, 10_000.0);
+        }
+        assert_eq!(sh.len(), 101);
+    }
+
+    #[test]
+    fn shadow_store_prune_is_transparent() {
+        // A pruned store must return exactly the values an unpruned store
+        // does: fields are only dropped once their cell can no longer be
+        // queried, and re-derivation never happens for live cells.
+        let run = |keep_window_m: f64| {
+            let mut sh = ShadowStore::new(9);
+            let mut vals = Vec::new();
+            for step in 0..30_000u32 {
+                let od = step as f64 * 2.0; // 60 km of travel
+                // Query the cells "in range": one per km, ±6 km around us.
+                let center = (od / 1_000.0) as i64;
+                for c in (center - 6).max(0)..=center + 6 {
+                    vals.push(sh.shadow_db(CellId(c as u32), Technology::Lte, od));
+                }
+                sh.maybe_prune(od, keep_window_m);
+            }
+            (vals, sh.len())
+        };
+        let (pruned, live) = run(20_000.0);
+        let (unpruned, all) = run(f64::INFINITY);
+        assert_eq!(pruned, unpruned);
+        assert!(live < all, "prune never dropped anything ({live} vs {all})");
     }
 }

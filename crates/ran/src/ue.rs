@@ -44,6 +44,11 @@ pub struct UeParams {
     /// *lower* than pre-HO ~25 % of the time — not every HO is for the
     /// UE's benefit.
     pub load_balance_ho_prob: f64,
+    /// Shadowing fields for cells last heard more than this far behind the
+    /// vehicle are dropped. Must exceed the widest layer query window
+    /// (14 km) so pruning never changes output; `f64::INFINITY` disables
+    /// pruning entirely (used by equivalence tests).
+    pub shadow_keep_window_m: f64,
 }
 
 impl Default for UeParams {
@@ -53,6 +58,7 @@ impl Default for UeParams {
             policy_interval_s: (8.0, 15.0),
             clutter_scale: 1.0,
             load_balance_ho_prob: 0.06,
+            shadow_keep_window_m: 20_000.0,
         }
     }
 }
@@ -163,7 +169,7 @@ impl UeRadio {
     pub fn step(&mut self, t_s: f64, drive: &DriveState, demand: TrafficDemand) -> LinkSnapshot {
         let od = drive.odometer_m;
         let region = drive.region;
-        self.shadows.maybe_prune(od, 20_000.0);
+        self.shadows.maybe_prune(od, self.params.shadow_keep_window_m);
 
         // Evaluate all layers.
         let mut cands: [Option<LayerCandidate>; 5] = [None; 5];
@@ -594,6 +600,43 @@ mod tests {
             }
         }
         assert!(saw_blank, "never observed a handover interruption");
+    }
+
+    #[test]
+    fn shadow_prune_does_not_change_snapshots() {
+        // Everything a campaign exports derives from LinkSnapshots, so a
+        // byte-identical snapshot stream with pruning on vs. off proves
+        // campaign exports are unaffected by the prune (fields are only
+        // dropped once their cell is permanently out of range).
+        let plan = DrivePlan::cross_country(5);
+        let db = Arc::new(build_cells(plan.route(), Operator::TMobile, 5, 0));
+        let run = |keep_window_m: f64| {
+            let params = UeParams {
+                shadow_keep_window_m: keep_window_m,
+                ..UeParams::default()
+            };
+            let mut ue = UeRadio::new(Operator::TMobile, db.clone(), params, 77);
+            let t0 = plan.days()[0].start_time_s as f64;
+            let mut stream = Vec::new();
+            for i in 0..40_000 {
+                let t = t0 + i as f64 * 0.5;
+                let s = ue.step(t, &plan.state_at(t), TrafficDemand::Backlog(Direction::Downlink));
+                stream.push((
+                    s.cell,
+                    s.tech,
+                    s.rsrp_dbm.to_bits(),
+                    s.sinr_dl_db.to_bits(),
+                    s.cap_dl_mbps.to_bits(),
+                    s.cap_ul_mbps.to_bits(),
+                    s.handover.map(|h| h.duration_ms.to_bits()),
+                ));
+            }
+            (stream, ue.shadows.len())
+        };
+        let (pruned, live) = run(20_000.0);
+        let (unpruned, all) = run(f64::INFINITY);
+        assert_eq!(pruned, unpruned);
+        assert!(live < all, "prune dropped nothing over a 5+ hour drive");
     }
 
     #[test]

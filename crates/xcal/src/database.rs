@@ -185,12 +185,10 @@ impl TestRecord {
 
     /// Mean throughput of the test, Mbps.
     pub fn mean_tput_mbps(&self) -> Option<f64> {
-        let v: Vec<f64> = self.tput_samples().collect();
-        if v.is_empty() {
-            None
-        } else {
-            Some(v.iter().sum::<f64>() / v.len() as f64)
-        }
+        let (n, sum) = self
+            .tput_samples()
+            .fold((0usize, 0.0f64), |(n, sum), v| (n + 1, sum + v));
+        (n > 0).then(|| sum / n as f64)
     }
 }
 

@@ -8,6 +8,7 @@
 //! ```
 
 use wheels::analysis::figures::{fig11_handovers, fig12_ho_impact};
+use wheels::analysis::AnalysisIndex;
 use wheels::campaign::{Campaign, CampaignConfig};
 use wheels::ran::{Direction, Operator};
 
@@ -18,7 +19,8 @@ fn main() {
     cfg.run_static = false;
     let db = Campaign::new(cfg).run();
 
-    let stats = fig11_handovers::compute(&db);
+    let ix = AnalysisIndex::build(&db);
+    let stats = fig11_handovers::compute(&ix);
     println!("Handovers per mile (driving throughput tests):");
     for op in Operator::ALL {
         for dir in Direction::BOTH {
@@ -51,7 +53,7 @@ fn main() {
         );
     }
 
-    let impact = fig12_ho_impact::compute(&db);
+    let impact = fig12_ho_impact::compute(&ix);
     println!("\nThroughput impact of a handover:");
     for op in Operator::ALL {
         let t1 = impact.t1_for(op, Direction::Downlink);

@@ -7,6 +7,7 @@
 //! ```
 
 use wheels::analysis::figures::ext_multipath;
+use wheels::analysis::AnalysisIndex;
 use wheels::campaign::{Campaign, CampaignConfig};
 use wheels::netsim::mptcp::{MptcpMode, MultipathFlow};
 use wheels::ran::Direction;
@@ -43,7 +44,7 @@ fn main() {
     cfg.run_static = false;
     cfg.run_passive = false;
     let db = Campaign::new(cfg).run();
-    let whatif = ext_multipath::compute(&db);
+    let whatif = ext_multipath::compute(&AnalysisIndex::build(&db));
     println!("{}", whatif.render());
 
     let (agg, best) = whatif.gains(Direction::Downlink);

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use wheels::analysis::figures::fig06_operator_diversity::{self, PAIRS};
+use wheels::analysis::AnalysisIndex;
 use wheels::campaign::{Campaign, CampaignConfig};
 use wheels::ran::{Direction, Operator};
 use wheels::xcal::database::TestKind;
@@ -22,7 +23,7 @@ fn main() {
     cfg.run_static = false;
     let db = Campaign::new(cfg).run();
 
-    let f = fig06_operator_diversity::compute(&db);
+    let f = fig06_operator_diversity::compute(&AnalysisIndex::build(&db));
     for pair in PAIRS {
         for dir in Direction::BOTH {
             let d = f.get(pair, dir);

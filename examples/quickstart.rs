@@ -6,6 +6,7 @@
 //! ```
 
 use wheels::analysis::figures::{fig02_coverage, fig03_static_driving, share_5g, share_hs5g};
+use wheels::analysis::AnalysisIndex;
 use wheels::campaign::stats::Table1;
 use wheels::campaign::{Campaign, CampaignConfig};
 use wheels::ran::Operator;
@@ -18,7 +19,8 @@ fn main() {
     let t1 = Table1::compute(&db, campaign.plan().route());
     println!("{}", t1.render());
 
-    let coverage = fig02_coverage::compute(&db);
+    let ix = AnalysisIndex::build(&db);
+    let coverage = fig02_coverage::compute(&ix);
     println!("Technology coverage while driving (% of miles):");
     for op in Operator::ALL {
         let shares = coverage.overall_for(op);
@@ -30,7 +32,7 @@ fn main() {
         );
     }
 
-    let perf = fig03_static_driving::compute(&db);
+    let perf = fig03_static_driving::compute(&ix);
     println!("\nStatic vs driving downlink medians (Mbps):");
     for op in Operator::ALL {
         let p = perf.for_op(op);

@@ -8,6 +8,7 @@ use wheels::analysis::figures::{
     fig01_coverage_views, fig02_coverage, fig03_static_driving, fig11_handovers, share_5g,
     share_hs5g, table2_correlations,
 };
+use wheels::analysis::AnalysisIndex;
 use wheels::campaign::{Campaign, CampaignConfig};
 use wheels::ran::{Direction, Operator};
 use wheels::xcal::database::ConsolidatedDb;
@@ -22,10 +23,15 @@ fn db() -> &'static ConsolidatedDb {
     })
 }
 
+fn ix() -> &'static AnalysisIndex<'static> {
+    static IX: OnceLock<AnalysisIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| AnalysisIndex::build(db()))
+}
+
 #[test]
 fn finding_coverage_order_tmobile_first() {
     // §4.2: T-Mobile ~68 % 5G; Verizon and AT&T ~18-22 %.
-    let f = fig02_coverage::compute(db());
+    let f = fig02_coverage::compute(ix());
     let t = share_5g(f.overall_for(Operator::TMobile));
     let v = share_5g(f.overall_for(Operator::Verizon));
     let a = share_5g(f.overall_for(Operator::Att));
@@ -37,14 +43,14 @@ fn finding_coverage_order_tmobile_first() {
 #[test]
 fn finding_att_has_no_high_speed_5g() {
     // §4.2: high-speed 5G "as low as 3% (AT&T)".
-    let f = fig02_coverage::compute(db());
+    let f = fig02_coverage::compute(ix());
     assert!(share_hs5g(f.overall_for(Operator::Att)) < 0.10);
 }
 
 #[test]
 fn finding_passive_probing_understates_coverage() {
     // §4.1 / Fig. 1.
-    let v = fig01_coverage_views::compute(db());
+    let v = fig01_coverage_views::compute(ix());
     for op in Operator::ALL {
         let (passive, active) = v.gap_for(op).unwrap();
         assert!(passive < active + 0.03, "{op}: {passive} vs {active}");
@@ -54,7 +60,7 @@ fn finding_passive_probing_understates_coverage() {
 #[test]
 fn finding_driving_collapses_throughput() {
     // §5.1: driving medians are a few % of static ones.
-    let f = fig03_static_driving::compute(db());
+    let f = fig03_static_driving::compute(ix());
     for op in Operator::ALL {
         let p = f.for_op(op);
         if p.static_dl.is_empty() {
@@ -67,7 +73,7 @@ fn finding_driving_collapses_throughput() {
 #[test]
 fn finding_low_throughput_tail() {
     // §5.1: ~35 % of driving samples below 5 Mbps.
-    let f = fig03_static_driving::compute(db());
+    let f = fig03_static_driving::compute(ix());
     let frac = f.frac_driving_below_5mbps();
     assert!((0.15..0.60).contains(&frac), "{frac}");
 }
@@ -75,7 +81,7 @@ fn finding_low_throughput_tail() {
 #[test]
 fn finding_no_kpi_dominates_throughput() {
     // Table 2.
-    let t = table2_correlations::compute(db());
+    let t = table2_correlations::compute(ix());
     for (op, dir, kpi, r) in &t.entries {
         assert!(r.abs() < 0.8, "{op} {} {}: {r}", dir.label(), kpi.label());
     }
@@ -84,7 +90,7 @@ fn finding_no_kpi_dominates_throughput() {
 #[test]
 fn finding_handovers_rare_and_brief() {
     // Fig. 11.
-    let f = fig11_handovers::compute(db());
+    let f = fig11_handovers::compute(ix());
     for op in Operator::ALL {
         let rate = f.per_mile_for(op, Direction::Downlink);
         let dur = f.duration_for(op, Direction::Downlink);
