@@ -34,6 +34,25 @@ for seed in 11 42; do
   }
 done
 
+echo "== scenario layer: paper spec byte-identity + non-paper smoke =="
+# The declarative ScenarioSpec path must reproduce the hard-wired paper
+# constructors byte for byte: same export, same report, at the same seed.
+./target/release/repro --scale smoke --seed 42 \
+  --export "$tmp/direct-42.json" all > "$tmp/direct-42.txt" 2> /dev/null
+./target/release/repro --scale smoke --seed 42 --scenario paper \
+  --export "$tmp/scenario-42.json" all > "$tmp/scenario-42.txt" 2> /dev/null
+cmp "$tmp/direct-42.json" "$tmp/scenario-42.json"
+cmp "$tmp/direct-42.txt" "$tmp/scenario-42.txt"
+# A non-paper registry world must run the full pipeline without panics,
+# and a dumped spec must load back through the JSON file path.
+./target/release/repro --scale smoke --seed 7 --scenario rail-corridor all \
+  > "$tmp/rail.txt" 2> /dev/null
+grep -q "T-Mobile (T), AT&T (A)" "$tmp/rail.txt"
+./target/release/repro --scenario metro-loop --scenario-dump > "$tmp/metro.json"
+./target/release/repro --scale smoke --seed 7 --scenario "$tmp/metro.json" table1 \
+  > "$tmp/metro.txt" 2> /dev/null
+grep -q "Operators" "$tmp/metro.txt"
+
 echo "== report byte-equivalence (quarter scale, fig-jobs 1 vs 4) =="
 # The figure fan-out must not change a single byte of `repro all`.
 ./target/release/repro --scale quarter --fig-jobs 1 all \

@@ -34,13 +34,17 @@ pub struct MultipathWhatIf {
     pub per_dir: Vec<(Direction, Vec<TripleOutcome>)>,
 }
 
-/// Replay one concurrent triple. The recorded 500 ms throughputs act as
-/// the per-path capacity process.
-fn replay(records: [&TestRecord; 3]) -> Option<TripleOutcome> {
+/// Replay one concurrent group (one path per operator in the panel). The
+/// recorded 500 ms throughputs act as the per-path capacity process.
+fn replay(records: &[&TestRecord]) -> Option<TripleOutcome> {
     let series: Vec<Vec<f64>> = records
         .iter()
         .map(|r| r.tput_samples().collect::<Vec<f64>>())
         .collect();
+    let paths = series.len();
+    if paths == 0 {
+        return None;
+    }
     let n = series.iter().map(Vec::len).min()?;
     if n < 20 {
         return None;
@@ -51,15 +55,20 @@ fn replay(records: [&TestRecord; 3]) -> Option<TripleOutcome> {
         .collect();
     let best_single = singles.iter().copied().fold(0.0, f64::max);
 
-    let rtts = [0.055, 0.06, 0.058];
+    // Per-path RTTs cycle through the paper's three cloud-path values, so
+    // the three-operator panel reproduces the original assignment exactly.
+    let rtts: Vec<f64> = (0..paths).map(|i| [0.055, 0.06, 0.058][i % 3]).collect();
     let run = |mode: MptcpMode| {
-        let mut flow = MultipathFlow::new(3, mode);
+        let mut flow = MultipathFlow::new(paths, mode);
         let dt = 0.02;
         let mut t = 0.0;
         let total_s = n as f64 * 0.5;
+        let mut caps = vec![0.0; paths];
         while t < total_s {
             let w = ((t / 0.5) as usize).min(n - 1);
-            let caps = [series[0][w], series[1][w], series[2][w]];
+            for (c, s) in caps.iter_mut().zip(&series) {
+                *c = s[w];
+            }
             flow.tick(t, dt, &caps, &rtts);
             t += dt;
         }
@@ -78,7 +87,8 @@ pub fn compute(ix: &AnalysisIndex<'_>) -> MultipathWhatIf {
     for dir in Direction::BOTH {
         let mut outcomes = Vec::new();
         for t in ix.concurrent_triples(dir) {
-            if let Some(o) = replay([ix.record(t[0]), ix.record(t[1]), ix.record(t[2])]) {
+            let records: Vec<&TestRecord> = t.iter().map(|&ri| ix.record(ri)).collect();
+            if let Some(o) = replay(&records) {
                 outcomes.push(o);
             }
         }

@@ -24,7 +24,8 @@ pub struct CoverageViews {
 
 /// Compute both views for all operators from the pre-aggregated shares.
 pub fn compute(ix: &AnalysisIndex<'_>) -> CoverageViews {
-    let per_op = Operator::ALL
+    let per_op = ix
+        .ops()
         .iter()
         .map(|&op| {
             let s = ix.shares(op);

@@ -31,24 +31,25 @@ pub struct CoverageFig {
 
 /// Assemble all four panels from the index's pre-aggregated shares.
 pub fn compute(ix: &AnalysisIndex<'_>) -> CoverageFig {
-    let overall = Operator::ALL
+    let overall = ix
+        .ops()
         .iter()
         .map(|&op| (op, ix.shares(op).active_all))
         .collect();
     let mut by_direction = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for (di, dir) in Direction::BOTH.into_iter().enumerate() {
             by_direction.push((op, dir, ix.shares(op).by_direction[di]));
         }
     }
     let mut by_timezone = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for (zi, tz) in Timezone::ALL.into_iter().enumerate() {
             by_timezone.push((op, tz, ix.shares(op).by_timezone[zi]));
         }
     }
     let mut by_speed = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for (bi, bin) in SpeedBin::ALL.into_iter().enumerate() {
             by_speed.push((op, bin, ix.shares(op).by_speed[bi]));
         }

@@ -38,7 +38,8 @@ pub struct StaticVsDriving {
 /// Assemble Fig. 3 from the index's canonical pre-sorted slices.
 pub fn compute(ix: &AnalysisIndex<'_>) -> StaticVsDriving {
     StaticVsDriving {
-        per_op: Operator::ALL
+        per_op: ix
+            .ops()
             .iter()
             .map(|&op| OpPerf {
                 op,

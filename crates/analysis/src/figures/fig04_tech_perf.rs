@@ -30,7 +30,7 @@ pub fn compute(ix: &AnalysisIndex<'_>) -> TechPerf {
     let mut dl = Vec::new();
     let mut ul = Vec::new();
     let mut rtt = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         let kinds: &[ServerKind] = if op.has_edge_servers() {
             &[ServerKind::Cloud, ServerKind::Edge]
         } else {

@@ -25,7 +25,7 @@ pub struct TimezonePerf {
 /// Compute Fig. 5 from memoized index queries.
 pub fn compute(ix: &AnalysisIndex<'_>) -> TimezonePerf {
     let mut series = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for tz in Timezone::ALL {
             for dir in Direction::BOTH {
                 let metric = match dir {

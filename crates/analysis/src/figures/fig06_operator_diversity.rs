@@ -50,6 +50,17 @@ pub const PAIRS: [(Operator, Operator); 3] = [
     (Operator::Att, Operator::Verizon),
 ];
 
+/// Cyclically adjacent operator pairs of a panel: each operator against
+/// the next, wrapping around. For the paper panel this reproduces
+/// [`PAIRS`]; a two-operator panel yields the single pair.
+pub fn panel_pairs(ops: &[Operator]) -> Vec<(Operator, Operator)> {
+    match ops.len() {
+        0 | 1 => Vec::new(),
+        2 => vec![(ops[0], ops[1])],
+        n => (0..n).map(|i| (ops[i], ops[(i + 1) % n])).collect(),
+    }
+}
+
 /// Results for one (pair, direction).
 #[derive(Debug, Clone)]
 pub struct PairDiff {
@@ -86,7 +97,7 @@ pub fn compute(ix: &AnalysisIndex<'_>) -> OperatorDiversity {
     let mut diffs = Vec::new();
     for dir in Direction::BOTH {
         let by_time = ix.concurrent_map(dir);
-        for pair in PAIRS {
+        for pair in panel_pairs(ix.ops()) {
             let mut all = Vec::new();
             let mut bins: HashMap<TechBin, Vec<f64>> = HashMap::new();
             for ((op, t), &ra) in by_time {

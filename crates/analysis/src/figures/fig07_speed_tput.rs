@@ -31,7 +31,7 @@ pub struct SpeedTput {
 pub fn compute(ix: &AnalysisIndex<'_>) -> SpeedTput {
     let mut cells = Vec::new();
     let mut speed_corr = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for dir in Direction::BOTH {
             let metric = match dir {
                 Direction::Downlink => QueryMetric::TputDl,

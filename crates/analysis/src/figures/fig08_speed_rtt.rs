@@ -25,7 +25,7 @@ pub struct SpeedRtt {
 /// Compute Fig. 8 from memoized index queries.
 pub fn compute(ix: &AnalysisIndex<'_>) -> SpeedRtt {
     let mut cells = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for bin in SpeedBin::ALL {
             for tech in Technology::ALL {
                 let e = ix.query(EcdfQuery::metric(op, QueryMetric::Rtt).bin(bin).tech(tech));

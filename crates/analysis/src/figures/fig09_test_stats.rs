@@ -72,7 +72,8 @@ fn rtt_stats(ix: &AnalysisIndex<'_>, op: Operator) -> (Ecdf, Ecdf) {
 /// Compute Fig. 9 from the index's record partitions.
 pub fn compute(ix: &AnalysisIndex<'_>) -> TestStats {
     TestStats {
-        per_op: Operator::ALL
+        per_op: ix
+            .ops()
             .iter()
             .map(|&op| {
                 let (dl_mean, dl_stdpct) = tput_stats(ix, op, TestKind::ThroughputDl);

@@ -41,7 +41,7 @@ fn scatter(ix: &AnalysisIndex<'_>, op: Operator, kind: TestKind) -> Vec<(f64, f6
 /// Compute Fig. 10 from the index's record partitions.
 pub fn compute(ix: &AnalysisIndex<'_>) -> Hs5gScatter {
     let per = |kind: TestKind| {
-        Operator::ALL
+        ix.ops()
             .iter()
             .map(|&op| (op, scatter(ix, op, kind)))
             .collect()

@@ -21,7 +21,7 @@ pub struct HandoverStats {
 pub fn compute(ix: &AnalysisIndex<'_>) -> HandoverStats {
     let mut per_mile = Vec::new();
     let mut duration_ms = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for dir in Direction::BOTH {
             let kind = match dir {
                 Direction::Downlink => TestKind::ThroughputDl,

@@ -61,7 +61,7 @@ pub fn compute(ix: &AnalysisIndex<'_>) -> HoImpact {
     let mut delta_t1 = Vec::new();
     let mut delta_t2 = Vec::new();
     let mut delta_t2_by_kind = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for dir in Direction::BOTH {
             let kind = match dir {
                 Direction::Downlink => TestKind::ThroughputDl,

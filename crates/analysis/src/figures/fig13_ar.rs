@@ -63,7 +63,8 @@ fn metric<'a>(
 
 /// Compute AR results from the index's record partitions.
 pub fn compute(ix: &AnalysisIndex<'_>) -> ArResults {
-    let per_op = Operator::ALL
+    let per_op = ix
+        .ops()
         .iter()
         .map(|&op| {
             let e2e_compressed = Ecdf::new(metric(runs(ix, op, false), true, |a| a.e2e_ms_mean));

@@ -36,7 +36,8 @@ fn runs<'a>(ix: &'a AnalysisIndex<'a>, op: Operator) -> impl Iterator<Item = &'a
 
 /// Compute CAV results from the index's record partitions.
 pub fn compute(ix: &AnalysisIndex<'_>) -> CavResults {
-    let per_op = Operator::ALL
+    let per_op = ix
+        .ops()
         .iter()
         .map(|&op| {
             let e2e = |compressed: bool| {

@@ -45,7 +45,8 @@ fn sessions<'a>(
 
 /// Compute video results from the index's record partitions.
 pub fn compute(ix: &AnalysisIndex<'_>) -> VideoResults {
-    let per_op = Operator::ALL
+    let per_op = ix
+        .ops()
         .iter()
         .map(|&op| {
             let qoe = Ecdf::new(

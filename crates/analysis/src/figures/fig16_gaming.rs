@@ -42,7 +42,8 @@ fn sessions<'a>(
 
 /// Compute gaming results from the index's record partitions.
 pub fn compute(ix: &AnalysisIndex<'_>) -> GamingResults {
-    let per_op = Operator::ALL
+    let per_op = ix
+        .ops()
         .iter()
         .map(|&op| {
             let bitrate = Ecdf::new(

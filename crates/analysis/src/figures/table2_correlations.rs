@@ -55,7 +55,7 @@ pub struct Table2 {
 /// [`Kpi::ALL`] column order).
 pub fn compute(ix: &AnalysisIndex<'_>) -> Table2 {
     let mut entries = Vec::new();
-    for &op in &Operator::ALL {
+    for &op in ix.ops() {
         for dir in Direction::BOTH {
             let rs = ix.kpi_correlations(op, dir);
             for (j, kpi) in Kpi::ALL.into_iter().enumerate() {
@@ -85,7 +85,13 @@ impl Table2 {
             out.push_str(&format!("{:>14}", kpi.label()));
         }
         out.push('\n');
-        for op in Operator::ALL {
+        let mut ops: Vec<Operator> = Vec::new();
+        for (op, _, _, _) in &self.entries {
+            if !ops.contains(op) {
+                ops.push(*op);
+            }
+        }
+        for op in ops {
             out.push_str(&format!("{:<10}", op.label()));
             for kpi in Kpi::ALL {
                 let dl = self.r(op, Direction::Downlink, kpi);

@@ -17,7 +17,8 @@ pub struct Table3 {
 /// Fig. 9), Speedtest side from the published report.
 pub fn compute(ix: &AnalysisIndex<'_>) -> Table3 {
     let stats = fig09_test_stats::compute(ix);
-    let rows = Operator::ALL
+    let rows = ix
+        .ops()
         .iter()
         .map(|&op| {
             let s = stats.for_op(op);

@@ -229,13 +229,6 @@ fn tech_idx(t: Technology) -> usize {
         .expect("known technology")
 }
 
-fn op_idx(op: Operator) -> usize {
-    Operator::ALL
-        .iter()
-        .position(|&o| o == op)
-        .expect("known operator")
-}
-
 fn dir_idx(dir: Direction) -> usize {
     match dir {
         Direction::Downlink => 0,
@@ -266,13 +259,15 @@ fn tput_dir(kind: TestKind) -> Option<Direction> {
 /// [`AnalysisIndex::build`], then hand `&AnalysisIndex` to every figure.
 pub struct AnalysisIndex<'a> {
     db: &'a ConsolidatedDb,
+    /// The operator panel, defining per-operator column/row order.
+    ops: Vec<Operator>,
     /// Record indices per (op, kind, is_static), in database order.
     parts: HashMap<(Operator, TestKind, bool), Vec<u32>>,
-    /// Driving throughput-test KPI columns, indexed `op_idx * 2 + dir_idx`.
+    /// Driving throughput-test KPI columns, indexed `op_index * 2 + dir_idx`.
     tput: Vec<KpiColumns>,
-    /// Driving RTT columns, indexed by `op_idx`.
+    /// Driving RTT columns, indexed by `op_index`.
     rtt: Vec<RttColumns>,
-    /// Coverage-share aggregations, [`Operator::ALL`] order.
+    /// Coverage-share aggregations, [`AnalysisIndex::ops`] order.
     shares: Vec<OpShares>,
     /// Eagerly memoized canonical ECDFs.
     canon: HashMap<Slice, Arc<Ecdf>>,
@@ -282,25 +277,36 @@ pub struct AnalysisIndex<'a> {
     /// direction (Fig. 6). Last record wins on key collisions, matching
     /// the previous per-figure construction.
     pairs: [HashMap<(Operator, i64), u32>; 2],
-    /// Concurrent three-operator triples per direction (MPTCP what-if):
-    /// record indices in [`Operator::ALL`] order, sorted by start time.
-    triples: [Vec<[u32; 3]>; 2],
+    /// Concurrent all-operator test groups per direction (MPTCP what-if):
+    /// record indices in [`AnalysisIndex::ops`] order, sorted by start
+    /// time.
+    triples: [Vec<Vec<u32>>; 2],
     /// Lazily memoized heterogeneous slice queries.
     cache: Mutex<HashMap<EcdfQuery, Arc<Ecdf>>>,
 }
 
 impl<'a> AnalysisIndex<'a> {
-    /// Build the index with one pass over the records (plus one sort per
-    /// canonical metric column).
+    /// Build the index for the paper's three-operator panel.
     pub fn build(db: &'a ConsolidatedDb) -> AnalysisIndex<'a> {
+        Self::build_for(db, Operator::ALL.to_vec())
+    }
+
+    /// Build the index for an explicit operator panel, with one pass over
+    /// the records (plus one sort per canonical metric column). Figures
+    /// iterate [`AnalysisIndex::ops`], so the panel defines every
+    /// per-operator row they render.
+    pub fn build_for(db: &'a ConsolidatedDb, ops: Vec<Operator>) -> AnalysisIndex<'a> {
+        let op_idx = |op: Operator| -> usize {
+            ops.iter().position(|&o| o == op).expect("operator in panel")
+        };
         let mut parts: HashMap<(Operator, TestKind, bool), Vec<u32>> = HashMap::new();
-        let mut tput: Vec<KpiColumns> = (0..Operator::ALL.len() * 2)
+        let mut tput: Vec<KpiColumns> = (0..ops.len() * 2)
             .map(|_| KpiColumns::default())
             .collect();
-        let mut rtt: Vec<RttColumns> = (0..Operator::ALL.len())
+        let mut rtt: Vec<RttColumns> = (0..ops.len())
             .map(|_| RttColumns::default())
             .collect();
-        let mut acc: Vec<ShareAcc> = Operator::ALL
+        let mut acc: Vec<ShareAcc> = ops
             .iter()
             .map(|&op| ShareAcc {
                 passive: db
@@ -392,25 +398,26 @@ impl<'a> AnalysisIndex<'a> {
             })
             .collect();
 
-        // Concurrent triples: exactly one test per operator at a rounded
-        // start time, ordered by start time for determinism.
-        let mut triples: [Vec<[u32; 3]>; 2] = [Vec::new(), Vec::new()];
+        // Concurrent groups: exactly one test per panel operator at a
+        // rounded start time, ordered by start time for determinism.
+        let mut triples: [Vec<Vec<u32>>; 2] = [Vec::new(), Vec::new()];
         for di in 0..2 {
             let mut times: Vec<i64> = by_time[di].keys().copied().collect();
             times.sort_unstable();
             for t in times {
                 let group = &by_time[di][&t];
-                if group.len() != 3 {
+                if group.len() != ops.len() {
                     continue;
                 }
                 let mut sorted = group.clone();
                 sorted.sort_by_key(|&ri| op_idx(db.records[ri as usize].op));
-                triples[di].push([sorted[0], sorted[1], sorted[2]]);
+                triples[di].push(sorted);
             }
         }
 
         let mut ix = AnalysisIndex {
             db,
+            ops,
             parts,
             tput,
             rtt,
@@ -426,6 +433,14 @@ impl<'a> AnalysisIndex<'a> {
         ix
     }
 
+    /// Position of one operator in the panel.
+    fn op_index(&self, op: Operator) -> usize {
+        self.ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("operator in panel")
+    }
+
     /// Pre-sort the canonical metric columns into memoized ECDFs.
     fn build_canonical(&mut self) {
         let mut canon = HashMap::new();
@@ -434,9 +449,10 @@ impl<'a> AnalysisIndex<'a> {
             v.sort_by(f64::total_cmp);
             Arc::new(Ecdf::from_sorted(v))
         };
-        for &op in &Operator::ALL {
+        for oi in 0..self.ops.len() {
+            let op = self.ops[oi];
             for dir in Direction::BOTH {
-                let cols = &self.tput[op_idx(op) * 2 + dir_idx(dir)];
+                let cols = &self.tput[oi * 2 + dir_idx(dir)];
                 canon.insert(
                     Slice::Tput {
                         op,
@@ -496,9 +512,10 @@ impl<'a> AnalysisIndex<'a> {
     /// Table 2's Pearson correlations, computed once from the columns.
     fn build_correlations(&mut self) {
         let mut corr = HashMap::new();
-        for &op in &Operator::ALL {
+        for oi in 0..self.ops.len() {
+            let op = self.ops[oi];
             for dir in Direction::BOTH {
-                let cols = &self.tput[op_idx(op) * 2 + dir_idx(dir)];
+                let cols = &self.tput[oi * 2 + dir_idx(dir)];
                 let keep: Vec<usize> = (0..cols.tput.len())
                     .filter(|&i| cols.tput[i].is_finite())
                     .collect();
@@ -525,6 +542,12 @@ impl<'a> AnalysisIndex<'a> {
     /// samples the columns don't carry).
     pub fn db(&self) -> &'a ConsolidatedDb {
         self.db
+    }
+
+    /// The operator panel this index was built for; figures iterate this
+    /// instead of hard-wiring [`Operator::ALL`].
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
     }
 
     /// Records of one `(op, kind, static?)` partition, in database order.
@@ -563,7 +586,7 @@ impl<'a> AnalysisIndex<'a> {
 
     /// Pre-aggregated coverage shares for one operator.
     pub fn shares(&self, op: Operator) -> &OpShares {
-        &self.shares[op_idx(op)]
+        &self.shares[self.op_index(op)]
     }
 
     /// Table 2 row: Pearson r of throughput vs [RSRP, MCS, CA, BLER,
@@ -578,9 +601,9 @@ impl<'a> AnalysisIndex<'a> {
         &self.pairs[dir_idx(dir)]
     }
 
-    /// Concurrent three-operator test triples for one direction, record
-    /// indices in [`Operator::ALL`] order.
-    pub fn concurrent_triples(&self, dir: Direction) -> &[[u32; 3]] {
+    /// Concurrent all-operator test groups for one direction, record
+    /// indices in [`AnalysisIndex::ops`] order.
+    pub fn concurrent_triples(&self, dir: Direction) -> &[Vec<u32>] {
         &self.triples[dir_idx(dir)]
     }
 
@@ -610,7 +633,7 @@ impl<'a> AnalysisIndex<'a> {
                 } else {
                     Direction::Uplink
                 };
-                let cols = &self.tput[op_idx(q.op) * 2 + dir_idx(dir)];
+                let cols = &self.tput[self.op_index(q.op) * 2 + dir_idx(dir)];
                 Ecdf::new((0..cols.tput.len()).filter_map(|i| {
                     let v = cols.tput[i];
                     if !v.is_finite()
@@ -626,7 +649,7 @@ impl<'a> AnalysisIndex<'a> {
                 }))
             }
             QueryMetric::Rtt => {
-                let cols = &self.rtt[op_idx(q.op)];
+                let cols = &self.rtt[self.op_index(q.op)];
                 Ecdf::new((0..cols.rtt_ms.len()).filter_map(|i| {
                     if q.tech.is_some_and(|t| cols.tech[i] != t)
                         || q.server.is_some_and(|s| cols.server[i] != s)
@@ -765,7 +788,7 @@ mod tests {
         for dir in Direction::BOTH {
             for t in ix.concurrent_triples(dir) {
                 let ops: Vec<Operator> = t.iter().map(|&ri| ix.record(ri).op).collect();
-                assert_eq!(ops, Operator::ALL.to_vec());
+                assert_eq!(ops, ix.ops().to_vec());
             }
             assert!(!ix.concurrent_triples(dir).is_empty());
         }

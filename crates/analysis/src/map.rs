@@ -34,7 +34,7 @@ fn dominant(meters: &[f64; 5]) -> Option<Technology> {
     let (idx, &m) = meters
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("five technologies");
     (m > 0.0).then(|| Technology::ALL[idx])
 }
@@ -80,13 +80,23 @@ pub fn map_from_passive(log: &PassiveLogger, total_m: f64, width: usize) -> Stri
         .collect()
 }
 
-/// Render the Fig. 1 comparison: for each operator, the passive map above
-/// the active (test-time) map.
+/// Render the Fig. 1 comparison for the paper's three-operator panel.
 pub fn render_fig1_maps(db: &ConsolidatedDb, total_m: f64, width: usize) -> String {
+    render_fig1_maps_for(db, total_m, width, &Operator::ALL)
+}
+
+/// Render the Fig. 1 comparison for an explicit operator panel: for each
+/// operator, the passive map above the active (test-time) map.
+pub fn render_fig1_maps_for(
+    db: &ConsolidatedDb,
+    total_m: f64,
+    width: usize,
+    ops: &[Operator],
+) -> String {
     let mut out = String::from(
         "Route coverage maps (LA → Boston; . LTE, - LTE-A, l 5G-low, M 5G-mid, W mmWave)\n",
     );
-    for op in Operator::ALL {
+    for &op in ops {
         if let Some(p) = db.passive_for(op) {
             out.push_str(&format!(
                 "{:>9} passive |{}|\n",

@@ -16,7 +16,7 @@ use wheels_xcal::database::ConsolidatedDb;
 
 use crate::figures as figs;
 use crate::index::AnalysisIndex;
-use crate::map::render_fig1_maps;
+use crate::map::render_fig1_maps_for;
 
 /// Section of the full report.
 #[derive(Debug, Clone)]
@@ -58,7 +58,7 @@ fn body(ix: &AnalysisIndex<'_>, route: &Route, id: &str) -> String {
         "fig1" => format!(
             "{}\n{}",
             figs::fig01_coverage_views::compute(ix).render(),
-            render_fig1_maps(ix.db(), route.total_m(), 96)
+            render_fig1_maps_for(ix.db(), route.total_m(), 96, ix.ops())
         ),
         "fig2" => figs::fig02_coverage::compute(ix).render(),
         "fig3" => figs::fig03_static_driving::compute(ix).render(),

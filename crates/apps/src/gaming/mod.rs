@@ -99,7 +99,7 @@ impl GamingSession {
             trace.push((t0_s + t, bitrate, fps));
             t += step;
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        latencies.sort_by(f64::total_cmp);
         let med = latencies[latencies.len() / 2];
         let p95 = latencies[(latencies.len() as f64 * 0.95) as usize];
         GamingSummary {

@@ -80,7 +80,7 @@ impl OffloadRun {
             free_at = capture + e2e_ms / 1_000.0;
         }
         let mut e2e: Vec<f64> = frames.iter().map(|f| f.e2e_ms).collect();
-        e2e.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        e2e.sort_by(f64::total_cmp);
         let mean = if e2e.is_empty() {
             0.0
         } else {

@@ -8,7 +8,17 @@
 //! cargo run --release -p wheels-bench --bin repro -- --jobs 4 --fig-jobs 4 all
 //! cargo run --release -p wheels-bench --bin repro -- --fault-profile harsh table1
 //! cargo run --release -p wheels-bench --bin repro -- --timings all
+//! cargo run --release -p wheels-bench --bin repro -- --scenario rail-corridor all
+//! cargo run --release -p wheels-bench --bin repro -- --scenario my_world.json fig2
+//! cargo run --release -p wheels-bench --bin repro -- --scenario paper --scenario-dump
+//! cargo run --release -p wheels-bench --bin repro -- --list
 //! ```
+//!
+//! `--scenario NAME|FILE.json` runs the campaign in a declarative world
+//! from the scenario registry (or a JSON spec file) instead of the
+//! hard-wired paper constructors; `--scenario paper` is byte-identical to
+//! omitting the flag. `--scenario-dump` prints the active scenario's JSON
+//! and exits; `--list` prints every artifact id and registered scenario.
 //!
 //! `--jobs N` runs the campaign's work units on N worker threads;
 //! `--fig-jobs N` fans figure/table rendering out the same way. The
@@ -33,9 +43,88 @@ use std::time::{Duration, Instant};
 
 use wheels_analysis::figures as figs;
 use wheels_analysis::AnalysisIndex;
-use wheels_bench::{run_campaign_supervised, FaultOpts, ReproScale, EXPERIMENTS};
+use wheels_bench::{
+    run_campaign_supervised, run_scenario_supervised, FaultOpts, ReproScale, EXPERIMENTS,
+    EXTENSIONS,
+};
 use wheels_campaign::stats::Table1;
-use wheels_campaign::FaultProfile;
+use wheels_campaign::{FaultProfile, ScenarioSpec};
+
+/// Resolve `--scenario NAME|FILE.json`: registry names first, then a JSON
+/// spec file. The spec is validated either way.
+fn load_scenario(arg: &str) -> ScenarioSpec {
+    let spec = if let Some(spec) = ScenarioSpec::find(arg) {
+        spec
+    } else if std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+            eprintln!("cannot read scenario file {arg}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse scenario file {arg}: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        eprintln!(
+            "unknown scenario {arg:?}: not a registered name ({}) and not a file",
+            ScenarioSpec::registry()
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        std::process::exit(2);
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid scenario {arg}: {e}");
+        std::process::exit(2);
+    }
+    spec
+}
+
+/// `repro --list`: every artifact id and registered scenario.
+fn print_list() {
+    println!("artifacts:");
+    for id in EXPERIMENTS {
+        println!("  {id:<10} {}", artifact_blurb(id));
+    }
+    println!("  {:<10} full markdown report (all artifacts + maps)", "report");
+    for id in EXTENSIONS {
+        println!("  {id:<10} {}", artifact_blurb(id));
+    }
+    println!("scenarios (use with --scenario NAME):");
+    for s in ScenarioSpec::registry() {
+        println!("  {:<14} {}", s.name, s.description);
+    }
+}
+
+fn artifact_blurb(id: &str) -> &'static str {
+    match id {
+        "table1" => "driving dataset statistics",
+        "fig1" => "passive vs active coverage views + route maps",
+        "fig2" => "technology coverage shares",
+        "fig3" => "static vs driving performance CDFs",
+        "fig4" => "per-technology performance",
+        "fig5" => "throughput by timezone",
+        "fig6" => "operator-pair throughput diversity",
+        "fig7" => "throughput vs vehicle speed",
+        "fig8" => "RTT vs vehicle speed",
+        "table2" => "KPI-throughput Pearson correlations",
+        "fig9" => "per-test mean/stddev statistics",
+        "fig10" => "performance vs time on high-speed 5G",
+        "table3" => "Ookla Q3 2022 comparison",
+        "fig11" => "handover rates and durations",
+        "fig12" => "throughput impact of handovers",
+        "table4" => "AR/CAV offload configuration",
+        "table5" => "mAP vs E2E latency table",
+        "fig13" => "AR offloading results",
+        "fig14" => "CAV offloading results",
+        "fig15" => "360° video streaming results",
+        "fig16" => "cloud gaming results",
+        "ext-mptcp" => "MPTCP multi-operator what-if (extension)",
+        _ => "",
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,10 +136,25 @@ fn main() {
     let mut timings_json: Option<String> = None;
     let mut faults = FaultOpts::default();
     let mut export: Option<String> = None;
+    let mut scenario: Option<ScenarioSpec> = None;
+    let mut scenario_dump = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--list" => {
+                print_list();
+                return;
+            }
+            "--scenario" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--scenario needs a registry name or a JSON file path");
+                    std::process::exit(2);
+                });
+                scenario = Some(load_scenario(&arg));
+            }
+            "--scenario-dump" => scenario_dump = true,
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).map(String::as_str) {
@@ -136,10 +240,19 @@ fn main() {
         }
         i += 1;
     }
+    if scenario_dump {
+        let spec = scenario.clone().unwrap_or_else(ScenarioSpec::paper);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&spec).expect("scenario serializes")
+        );
+        return;
+    }
     if wanted.is_empty() {
         eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] \
                    [--fig-jobs N] [--timings] [--timings-json FILE] \
                    [--fault-profile none|paper|harsh] [--max-retries N] [--fail-fast] \
+                   [--scenario NAME|FILE.json] [--scenario-dump] [--list] \
                    [--export FILE] <id...|all>");
         eprintln!("ids: {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
@@ -147,11 +260,19 @@ fn main() {
     wanted.dedup();
 
     eprintln!(
-        "running campaign (scale {scale:?}, seed {seed}, jobs {jobs}, faults {})...",
-        faults.profile.label()
+        "running campaign (scale {scale:?}, seed {seed}, jobs {jobs}, faults {}{})...",
+        faults.profile.label(),
+        scenario
+            .as_ref()
+            .map(|s| format!(", scenario {}", s.name))
+            .unwrap_or_default()
     );
     let t0 = Instant::now();
-    let (campaign, outcome) = match run_campaign_supervised(scale, seed, jobs, faults) {
+    let run = match &scenario {
+        Some(spec) => run_scenario_supervised(spec, scale, seed, jobs, faults),
+        None => run_campaign_supervised(scale, seed, jobs, faults),
+    };
+    let (campaign, outcome) = match run {
         Ok(r) => r,
         Err(abort) => {
             eprintln!("{abort}");
@@ -170,7 +291,7 @@ fn main() {
     eprintln!("{}", integrity.summary());
 
     let t1 = Instant::now();
-    let ix = AnalysisIndex::build(&db);
+    let ix = AnalysisIndex::build_for(&db, campaign.ops().to_vec());
     let index_elapsed = t1.elapsed();
 
     let t2 = Instant::now();
@@ -253,15 +374,16 @@ fn render_one(
     match id {
         "table1" => format!(
             "Table 1 — driving dataset statistics\n{}",
-            Table1::compute(db, campaign.plan().route()).render()
+            Table1::compute_for(db, campaign.plan().route(), campaign.ops()).render()
         ),
         "fig1" => format!(
             "{}\n{}",
             figs::fig01_coverage_views::compute(ix).render(),
-            wheels_analysis::map::render_fig1_maps(
+            wheels_analysis::map::render_fig1_maps_for(
                 db,
                 campaign.plan().route().total_m(),
-                96
+                96,
+                campaign.ops()
             )
         ),
         "fig2" => figs::fig02_coverage::compute(ix).render(),

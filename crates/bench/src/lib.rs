@@ -14,7 +14,7 @@
 #![warn(missing_docs)]
 
 use wheels_campaign::{
-    Campaign, CampaignAborted, CampaignConfig, CampaignOutcome, FaultProfile,
+    Campaign, CampaignAborted, CampaignConfig, CampaignOutcome, FaultProfile, ScenarioSpec,
 };
 use wheels_xcal::database::ConsolidatedDb;
 
@@ -97,6 +97,27 @@ pub fn run_campaign_supervised(
     cfg.max_retries = opts.max_retries;
     cfg.fail_fast = opts.fail_fast;
     let campaign = Campaign::new(cfg);
+    let outcome = campaign.run_supervised_jobs(jobs)?;
+    Ok((campaign, outcome))
+}
+
+/// [`run_campaign_supervised`] for a declarative scenario: the campaign
+/// world (route, day plans, operator panel, server fleet, round-robin) is
+/// compiled from `spec` instead of the hard-wired paper constructors.
+/// With `ScenarioSpec::paper()` the dataset is byte-identical to
+/// [`run_campaign_supervised`] at the same scale and seed.
+pub fn run_scenario_supervised(
+    spec: &ScenarioSpec,
+    scale: ReproScale,
+    seed: u64,
+    jobs: usize,
+    opts: FaultOpts,
+) -> Result<(Campaign, CampaignOutcome), CampaignAborted> {
+    let mut cfg = scale.config(seed);
+    cfg.fault_profile = opts.profile;
+    cfg.max_retries = opts.max_retries;
+    cfg.fail_fast = opts.fail_fast;
+    let campaign = Campaign::from_spec(spec, cfg);
     let outcome = campaign.run_supervised_jobs(jobs)?;
     Ok((campaign, outcome))
 }

@@ -35,11 +35,12 @@ pub struct CampaignConfig {
     pub fail_fast: bool,
 }
 
-impl CampaignConfig {
-    /// The full 8-day campaign at paper scale.
-    pub fn full(seed: u64) -> Self {
+impl Default for CampaignConfig {
+    /// The full paper-scale configuration at seed 0; the named
+    /// constructors are overrides of this baseline.
+    fn default() -> Self {
         CampaignConfig {
-            seed,
+            seed: 0,
             scale: 1.0,
             run_apps: true,
             run_static: true,
@@ -52,22 +53,24 @@ impl CampaignConfig {
             fail_fast: false,
         }
     }
+}
+
+impl CampaignConfig {
+    /// The full 8-day campaign at paper scale.
+    pub fn full(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            ..Self::default()
+        }
+    }
 
     /// A miniature campaign for tests/examples: ~4 % of cycles, coarser
     /// passive cadence.
     pub fn quick(seed: u64) -> Self {
         CampaignConfig {
-            seed,
             scale: 0.04,
-            run_apps: true,
-            run_static: true,
-            run_passive: true,
             passive_tick_s: 5.0,
-            snapshot_tick_s: 0.1,
-            gap_s: 4.0,
-            fault_profile: FaultProfile::None,
-            max_retries: 2,
-            fail_fast: false,
+            ..Self::full(seed)
         }
     }
 

@@ -123,21 +123,21 @@ impl Campaign {
     /// never by worker completion order.
     pub fn plan_units(&self) -> Vec<WorkUnit> {
         let mut units = Vec::new();
-        for op in Operator::ALL {
+        for &op in &self.ops {
             for day in 0..self.plan.days().len() {
                 units.push(WorkUnit::Drive { op, day });
             }
         }
-        if self.cfg.run_static {
-            for op in Operator::ALL {
+        if self.cfg.run_static && self.sched.run_static {
+            for &op in &self.ops {
                 let db = self.db_for(op);
                 for (_city, site_od, _tech) in static_sites(&db, self.plan.route()) {
                     units.push(WorkUnit::Static { op, site_od });
                 }
             }
         }
-        if self.cfg.run_passive {
-            for op in Operator::ALL {
+        if self.cfg.run_passive && self.sched.run_passive {
+            for &op in &self.ops {
                 units.push(WorkUnit::Passive { op });
             }
         }

@@ -28,6 +28,7 @@ pub mod executor;
 pub mod integrity;
 pub mod ookla;
 pub mod runner;
+pub mod scenario;
 pub mod static_tests;
 pub mod stats;
 
@@ -35,5 +36,6 @@ pub use config::CampaignConfig;
 pub use executor::{merge_shard_slots, merge_shards, Shard, WorkUnit};
 pub use integrity::{IntegrityReport, UnitError, UnitReport, UnitStatus};
 pub use runner::{Campaign, CampaignAborted, CampaignOutcome};
+pub use scenario::{ScenarioSpec, ScenarioWorld};
 pub use stats::Table1;
 pub use wheels_netsim::faults::FaultProfile;

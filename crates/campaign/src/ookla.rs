@@ -65,7 +65,7 @@ pub fn simulate_speedtest_style(driving_means_mbps: &[f64], seed: u64) -> f64 {
             m * static_gain * multi_conn
         })
         .collect();
-    adjusted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    adjusted.sort_by(f64::total_cmp);
     if adjusted.is_empty() {
         0.0
     } else {

@@ -15,7 +15,7 @@ use wheels_netsim::ping::{PingLinkState, RttTest};
 use wheels_netsim::rtt::RttModel;
 use wheels_netsim::server::{Server, ServerSelector};
 use wheels_ran::cell::CellDb;
-use wheels_ran::deployment::build_all;
+use wheels_ran::deployment::{build_all, build_ops};
 use wheels_ran::handover::HandoverEvent;
 use wheels_ran::load::LoadParams;
 use wheels_ran::operator::Operator;
@@ -34,13 +34,7 @@ use crate::config::CampaignConfig;
 use crate::driver::{demand_for, tcp_base_rtt_s, AppLinkAdapter, LinkDriver};
 use crate::executor::{merge_shard_slots, Shard, WorkUnit};
 use crate::integrity::{IntegrityReport, UnitStatus};
-
-/// Durations of the tests in one round-robin cycle, seconds.
-const TPUT_S: f64 = 30.0;
-const RTT_S: f64 = 20.0;
-const APP_OFFLOAD_S: f64 = 20.0;
-const VIDEO_S: f64 = 180.0;
-const GAME_S: f64 = 60.0;
+use crate::scenario::{Schedule, ScenarioSpec};
 
 /// One phone: a UE plus its RTT model.
 struct Phone {
@@ -108,12 +102,19 @@ pub struct CampaignLogs {
 pub struct Campaign {
     pub(crate) cfg: CampaignConfig,
     pub(crate) plan: DrivePlan,
+    /// The operator panel, in schedule order.
+    pub(crate) ops: Vec<Operator>,
+    /// Per-operator edge-server entitlement, [`Campaign::ops`] order.
+    pub(crate) edge: Vec<bool>,
     pub(crate) dbs: Vec<Arc<CellDb>>,
     pub(crate) selector: ServerSelector,
+    pub(crate) sched: Schedule,
 }
 
 impl Campaign {
-    /// Build the world (route, drive plan, cell deployments) for `cfg`.
+    /// Build the paper's world (route, drive plan, cell deployments) for
+    /// `cfg` — the direct code path, equivalent to compiling
+    /// [`ScenarioSpec::paper`] (a test asserts byte-identity).
     pub fn new(cfg: CampaignConfig) -> Self {
         let plan = DrivePlan::cross_country(cfg.seed);
         let dbs = build_all(plan.route(), cfg.seed)
@@ -123,8 +124,36 @@ impl Campaign {
         Campaign {
             cfg,
             plan,
+            ops: Operator::ALL.to_vec(),
+            edge: Operator::ALL.iter().map(|op| op.has_edge_servers()).collect(),
             dbs,
             selector: ServerSelector::new(),
+            sched: Schedule::paper(),
+        }
+    }
+
+    /// Build the world a [`ScenarioSpec`] describes. The `paper` spec
+    /// reproduces [`Campaign::new`] byte-for-byte; other specs swap in
+    /// their own route, operator panel, server fleet, and schedule.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec; call [`ScenarioSpec::validate`] first
+    /// when the spec comes from outside.
+    pub fn from_spec(spec: &ScenarioSpec, cfg: CampaignConfig) -> Self {
+        let world = spec.build(cfg.seed);
+        let panel: Vec<_> = world.ops.iter().map(|&(op, tuning, _)| (op, tuning)).collect();
+        let dbs = build_ops(world.plan.route(), cfg.seed, &panel)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Campaign {
+            cfg,
+            plan: world.plan,
+            ops: world.ops.iter().map(|&(op, _, _)| op).collect(),
+            edge: world.ops.iter().map(|&(_, _, e)| e).collect(),
+            dbs,
+            selector: world.selector,
+            sched: world.schedule,
         }
     }
 
@@ -133,13 +162,34 @@ impl Campaign {
         &self.plan
     }
 
+    /// The operator panel, in schedule order.
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// Whether the app suite runs (config and scenario both opt in).
+    pub(crate) fn apps_enabled(&self) -> bool {
+        self.cfg.run_apps && self.sched.run_apps
+    }
+
     /// The cell database of one operator.
     pub fn db_for(&self, op: Operator) -> Arc<CellDb> {
-        let idx = Operator::ALL
+        let idx = self
+            .ops
             .iter()
             .position(|&o| o == op)
-            .expect("known operator");
+            .expect("operator in panel");
         Arc::clone(&self.dbs[idx])
+    }
+
+    /// One operator's edge-server entitlement.
+    fn has_edge(&self, op: Operator) -> bool {
+        let idx = self
+            .ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("operator in panel");
+        self.edge[idx]
     }
 
     /// Execute the campaign and return the consolidated database.
@@ -301,9 +351,10 @@ impl Campaign {
     /// Length of one full round-robin cycle including gaps, seconds.
     pub fn cycle_duration_s(&self) -> f64 {
         let g = self.cfg.gap_s;
-        let net = TPUT_S + g + TPUT_S + g + RTT_S + g;
-        if self.cfg.run_apps {
-            net + 4.0 * (APP_OFFLOAD_S + g) + VIDEO_S + g + GAME_S + g
+        let s = &self.sched;
+        let net = s.tput_s + g + s.tput_s + g + s.rtt_s + g;
+        if self.apps_enabled() {
+            net + 4.0 * (s.app_offload_s + g) + s.video_s + g + s.game_s + g
         } else {
             net
         }
@@ -327,7 +378,7 @@ impl Campaign {
         let r = self.run_rtt(phone, *next_id, t, static_od);
         t = r.start_s + r.duration_s + g;
         self.push(records, next_id, r);
-        if self.cfg.run_apps {
+        if self.apps_enabled() {
             for (kind, compressed) in [
                 (TestKind::AppAr, true),
                 (TestKind::AppAr, false),
@@ -364,7 +415,7 @@ impl Campaign {
             ),
             None => (state.pos, state.timezone),
         };
-        self.selector.select(op, pos, tz)
+        self.selector.select_for(self.has_edge(op), pos, tz)
     }
 
     fn run_tput(
@@ -383,7 +434,7 @@ impl Campaign {
         };
         let plan = &self.plan;
         let test = BulkTransferTest {
-            duration_s: TPUT_S,
+            duration_s: self.sched.tput_s,
             ..Default::default()
         };
         let samples = test.run(t0, |t| {
@@ -407,7 +458,7 @@ impl Campaign {
             phone.op,
             kind,
             t0,
-            TPUT_S,
+            self.sched.tput_s,
             server,
             static_od,
             driver,
@@ -426,7 +477,7 @@ impl Campaign {
         let plan = &self.plan;
         let rtt_model = &mut phone.rtt;
         let test = RttTest {
-            duration_s: RTT_S,
+            duration_s: self.sched.rtt_s,
             ..Default::default()
         };
         let samples = test.run(t0, &server, rtt_model, |t| {
@@ -449,7 +500,7 @@ impl Campaign {
             phone.op,
             TestKind::Rtt,
             t0,
-            RTT_S,
+            self.sched.rtt_s,
             server,
             static_od,
             driver,
@@ -507,7 +558,7 @@ impl Campaign {
             phone.op,
             kind,
             t0,
-            APP_OFFLOAD_S,
+            self.sched.app_offload_s,
             server,
             static_od,
             driver,
@@ -544,7 +595,7 @@ impl Campaign {
             phone.op,
             TestKind::AppVideo,
             t0,
-            VIDEO_S,
+            self.sched.video_s,
             server,
             static_od,
             driver,
@@ -581,7 +632,7 @@ impl Campaign {
             phone.op,
             TestKind::AppGaming,
             t0,
-            GAME_S,
+            self.sched.game_s,
             server,
             static_od,
             driver,
@@ -674,14 +725,14 @@ impl Campaign {
                 continue;
             }
             self.push(&mut records, &mut next_id, probe);
-            let mut t = t_base + TPUT_S + self.cfg.gap_s;
+            let mut t = t_base + self.sched.tput_s + self.cfg.gap_s;
             let r = self.run_tput(&mut phone, next_id, t, Direction::Uplink, Some(site_od));
             t = r.start_s + r.duration_s + self.cfg.gap_s;
             self.push(&mut records, &mut next_id, r);
             let r = self.run_rtt(&mut phone, next_id, t, Some(site_od));
             t = r.start_s + r.duration_s + self.cfg.gap_s;
             self.push(&mut records, &mut next_id, r);
-            if self.cfg.run_apps {
+            if self.apps_enabled() {
                 for (kind, compressed) in [
                     (TestKind::AppAr, true),
                     (TestKind::AppAr, false),

@@ -1,0 +1,807 @@
+//! Declarative scenario layer: the world a campaign runs in, as data.
+//!
+//! A [`ScenarioSpec`] captures everything the campaign used to hard-wire:
+//! the route waypoints, the day plan and speed profile, the operator
+//! panel with per-technology deployment tuning, the measurement-server
+//! fleet, and the test round-robin schedule. Specs are plain serde
+//! values, so worlds can be shipped as JSON files and run with
+//! `repro --scenario FILE.json`.
+//!
+//! The paper's world is [`ScenarioSpec::paper`], built field-by-field
+//! from the same constants the direct code path uses — so compiling it
+//! reproduces [`Campaign::new`](crate::Campaign::new) byte-for-byte (a
+//! test and a CI gate assert this). Operator behavior is expressed as a
+//! *slot* (one of the three calibrated parameter families: `verizon`,
+//! `tmobile`, `att`) plus multiplicative per-technology scales on
+//! coverage, cell spacing, and upgrade-policy promotion — the neutral
+//! scale 1.0 is an exact IEEE-754 no-op, which is what makes the paper
+//! spec's identity guarantee possible without duplicating every
+//! calibrated table into the spec.
+
+use wheels_geo::cities::{City, ROUTE_CITIES};
+use wheels_geo::coord::LatLon;
+use wheels_geo::route::{Route, PAPER_TOTAL_M};
+use wheels_geo::timezone::Timezone;
+use wheels_geo::trip::{DrivePlan, SpeedProfile, OVERNIGHT_CITIES};
+use wheels_netsim::server::{
+    Server, ServerKind, ServerSelector, CLOUD_CALIFORNIA, CLOUD_OHIO, EDGE_RADIUS_M,
+};
+use wheels_radio::band::Technology;
+use wheels_ran::operator::Operator;
+use wheels_ran::tuning::OperatorTuning;
+
+/// One waypoint city of a scenario route.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CitySpec {
+    /// Display name (unique on the route; overnight stops refer to it).
+    pub name: String,
+    /// Two-letter state code.
+    pub state: String,
+    /// City-center latitude, degrees.
+    pub lat: f64,
+    /// City-center longitude, degrees.
+    pub lon: f64,
+    /// Urban radius scale factor (1.0 = a typical major city).
+    pub scale: f64,
+    /// Counts as a major city (static baselines, Table 1).
+    pub major: bool,
+    /// Hosts an edge server.
+    pub edge: bool,
+}
+
+/// The route: an ordered city polyline plus an optional odometer target.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RouteSpec {
+    /// Waypoints in driving order (at least two).
+    pub cities: Vec<CitySpec>,
+    /// Calibrate segment lengths so the route totals this many meters
+    /// (road curvature); `None` keeps geometric lengths.
+    pub target_total_m: Option<f64>,
+}
+
+/// Day plan and vehicle speed process.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TripSpec {
+    /// OU mean-reversion rate, 1/s.
+    pub ou_theta: f64,
+    /// OU noise std-dev, mph per sqrt(second).
+    pub ou_sigma_mph: f64,
+    /// Probability per meter of a stop event in city regions.
+    pub city_stop_per_m: f64,
+    /// Stop duration range, seconds.
+    pub stop_s: (f64, f64),
+    /// Hard speed cap, mph.
+    pub max_mph: f64,
+    /// Overnight stops by city name, in order; each splits a driving day.
+    /// Names absent from the route are skipped, and the final day always
+    /// ends at the route's end.
+    pub overnight_cities: Vec<String>,
+}
+
+/// Per-technology multiplicative tuning of one operator (absent
+/// technologies stay neutral).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TechScale {
+    /// Technology key — a [`Technology::label`] string
+    /// (`"LTE"`, `"LTE-A"`, `"5G-low"`, `"5G-mid"`, `"5G-mmWave"`).
+    pub tech: String,
+    /// Multiplier on the layer's route-coverage fraction.
+    pub coverage: f64,
+    /// Multiplier on cell spacing (larger = sparser deployment).
+    pub spacing: f64,
+    /// Multiplier on the upgrade-policy promotion probability.
+    pub promotion: f64,
+}
+
+/// One operator of the scenario panel.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperatorSpec {
+    /// Calibrated parameter family to reuse: `"verizon"`, `"tmobile"`,
+    /// or `"att"` (link configurations, beams, handover distribution).
+    pub slot: String,
+    /// Deployment/policy tuning; an empty list is the slot verbatim.
+    pub scales: Vec<TechScale>,
+    /// Whether this operator's tests may use edge servers; `None` takes
+    /// the slot's default (only Verizon in the paper).
+    pub edge_servers: Option<bool>,
+}
+
+/// One cloud datacenter of the server fleet.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CloudSpec {
+    /// Site name (appears in records and figures).
+    pub name: String,
+    /// Datacenter latitude, degrees.
+    pub lat: f64,
+    /// Datacenter longitude, degrees.
+    pub lon: f64,
+}
+
+/// The measurement-server fleet. Edge sites are the route cities flagged
+/// [`CitySpec::edge`]; clouds are explicit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetSpec {
+    /// Cloud datacenters (at least one).
+    pub clouds: Vec<CloudSpec>,
+    /// Index into `clouds` per timezone, [`Timezone::ALL`] order.
+    pub cloud_by_tz: Vec<usize>,
+    /// Radius around an edge city within which the edge server is used,
+    /// meters.
+    pub edge_radius_m: f64,
+}
+
+/// The test round-robin: durations and which suites run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduleSpec {
+    /// Bulk-transfer test duration, seconds (each direction).
+    pub tput_s: f64,
+    /// Ping test duration, seconds.
+    pub rtt_s: f64,
+    /// AR/CAV offload test duration, seconds (each variant).
+    pub app_offload_s: f64,
+    /// Video streaming session duration, seconds.
+    pub video_s: f64,
+    /// Cloud gaming session duration, seconds.
+    pub game_s: f64,
+    /// Include the killer-app tests in the round-robin.
+    pub run_apps: bool,
+    /// Run the static city baselines.
+    pub run_static: bool,
+    /// Run the passive handover-logger phones.
+    pub run_passive: bool,
+}
+
+/// A complete declarative world: route, trip, operators, servers,
+/// schedule. See the module docs for the identity guarantee of
+/// [`ScenarioSpec::paper`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry name (`repro --scenario NAME`).
+    pub name: String,
+    /// One-line description for `repro --list`.
+    pub description: String,
+    /// Route waypoints.
+    pub route: RouteSpec,
+    /// Day plan and speed process.
+    pub trip: TripSpec,
+    /// Operator panel (at least one).
+    pub operators: Vec<OperatorSpec>,
+    /// Server fleet.
+    pub fleet: FleetSpec,
+    /// Round-robin schedule.
+    pub schedule: ScheduleSpec,
+}
+
+/// The compiled round-robin parameters a [`Campaign`](crate::Campaign)
+/// executes.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Bulk-transfer test duration, seconds.
+    pub tput_s: f64,
+    /// Ping test duration, seconds.
+    pub rtt_s: f64,
+    /// AR/CAV offload test duration, seconds.
+    pub app_offload_s: f64,
+    /// Video session duration, seconds.
+    pub video_s: f64,
+    /// Gaming session duration, seconds.
+    pub game_s: f64,
+    /// Scenario-level app-suite switch.
+    pub run_apps: bool,
+    /// Scenario-level static-suite switch.
+    pub run_static: bool,
+    /// Scenario-level passive-logger switch.
+    pub run_passive: bool,
+}
+
+impl Schedule {
+    /// The paper's §3 round-robin: 30 s throughput each way, 20 s ping,
+    /// 20 s per offload variant, 180 s video, 60 s gaming; all suites on.
+    pub fn paper() -> Self {
+        Schedule {
+            tput_s: 30.0,
+            rtt_s: 20.0,
+            app_offload_s: 20.0,
+            video_s: 180.0,
+            game_s: 60.0,
+            run_apps: true,
+            run_static: true,
+            run_passive: true,
+        }
+    }
+}
+
+/// A compiled scenario: the concrete world objects a campaign needs.
+#[derive(Debug)]
+pub struct ScenarioWorld {
+    /// The drive plan (owns the route).
+    pub plan: DrivePlan,
+    /// The operator panel: slot, deployment tuning, edge entitlement.
+    pub ops: Vec<(Operator, OperatorTuning, bool)>,
+    /// The server selector.
+    pub selector: ServerSelector,
+    /// The round-robin schedule.
+    pub schedule: Schedule,
+}
+
+/// Intern a string into a `&'static str`, deduplicating so repeated
+/// builds of the same scenario don't grow the leak set.
+fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = pool.lock().expect("intern pool poisoned");
+    if let Some(&hit) = set.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn tech_by_key(key: &str) -> Option<Technology> {
+    Technology::ALL.into_iter().find(|t| t.label() == key)
+}
+
+fn tech_pos(tech: Technology) -> usize {
+    Technology::ALL
+        .iter()
+        .position(|&t| t == tech)
+        .expect("known technology")
+}
+
+impl ScenarioSpec {
+    /// The paper's world, expressed as data. Every field is copied from
+    /// the constant the direct code path reads, so compiling this spec is
+    /// byte-identical to [`Campaign::new`](crate::Campaign::new).
+    pub fn paper() -> Self {
+        let profile = SpeedProfile::default();
+        ScenarioSpec {
+            name: "paper".to_string(),
+            description: "LA->Boston 8-day cross-country drive, 3 operators (the paper's world)"
+                .to_string(),
+            route: RouteSpec {
+                cities: ROUTE_CITIES
+                    .iter()
+                    .map(|c| CitySpec {
+                        name: c.name.to_string(),
+                        state: c.state.to_string(),
+                        lat: c.center.lat,
+                        lon: c.center.lon,
+                        scale: c.scale,
+                        major: c.major,
+                        edge: c.edge_server,
+                    })
+                    .collect(),
+                target_total_m: Some(PAPER_TOTAL_M),
+            },
+            trip: TripSpec {
+                ou_theta: profile.ou_theta,
+                ou_sigma_mph: profile.ou_sigma_mph,
+                city_stop_per_m: profile.city_stop_per_m,
+                stop_s: profile.stop_s,
+                max_mph: profile.max_mph,
+                overnight_cities: OVERNIGHT_CITIES.iter().map(|s| s.to_string()).collect(),
+            },
+            operators: Operator::ALL
+                .iter()
+                .map(|op| OperatorSpec {
+                    slot: op.slot_key().to_string(),
+                    scales: Vec::new(),
+                    edge_servers: None,
+                })
+                .collect(),
+            fleet: FleetSpec {
+                clouds: [CLOUD_CALIFORNIA, CLOUD_OHIO]
+                    .iter()
+                    .map(|s| CloudSpec {
+                        name: s.name.to_string(),
+                        lat: s.pos.lat,
+                        lon: s.pos.lon,
+                    })
+                    .collect(),
+                cloud_by_tz: vec![0, 0, 1, 1],
+                edge_radius_m: EDGE_RADIUS_M,
+            },
+            schedule: ScheduleSpec {
+                tput_s: 30.0,
+                rtt_s: 20.0,
+                app_offload_s: 20.0,
+                video_s: 180.0,
+                game_s: 60.0,
+                run_apps: true,
+                run_static: true,
+                run_passive: true,
+            },
+        }
+    }
+
+    /// A sustained-high-speed rail corridor: two operators on a sparse
+    /// mid-band deployment, no city stop-and-go, one long driving day.
+    pub fn rail_corridor() -> Self {
+        let city = |name: &str, state: &str, lat: f64, lon: f64, scale: f64, major, edge| CitySpec {
+            name: name.to_string(),
+            state: state.to_string(),
+            lat,
+            lon,
+            scale,
+            major,
+            edge,
+        };
+        ScenarioSpec {
+            name: "rail-corridor".to_string(),
+            description: "Sustained 100+ km/h corridor, 2 operators, sparse mid-band, no mmWave"
+                .to_string(),
+            route: RouteSpec {
+                cities: vec![
+                    city("Seattle", "WA", 47.6062, -122.3321, 1.2, true, true),
+                    city("Tacoma", "WA", 47.2529, -122.4443, 0.5, false, false),
+                    city("Olympia", "WA", 47.0379, -122.9007, 0.3, false, false),
+                    city("Kelso", "WA", 46.1460, -122.9082, 0.15, false, false),
+                    city("Vancouver", "WA", 45.6387, -122.6615, 0.5, false, false),
+                    city("Portland", "OR", 45.5152, -122.6784, 1.0, true, false),
+                    city("Salem", "OR", 44.9429, -123.0351, 0.4, false, false),
+                    city("Albany", "OR", 44.6365, -123.1059, 0.2, false, false),
+                    city("Eugene", "OR", 44.0521, -123.0868, 0.6, true, false),
+                ],
+                target_total_m: Some(550_000.0),
+            },
+            trip: TripSpec {
+                ou_theta: 0.08,
+                ou_sigma_mph: 1.4,
+                // A rail corridor has no traffic lights: stops are rare.
+                city_stop_per_m: 1.0 / 40_000.0,
+                stop_s: (45.0, 120.0),
+                max_mph: 110.0,
+                overnight_cities: vec!["Portland".to_string(), "Eugene".to_string()],
+            },
+            operators: vec![
+                OperatorSpec {
+                    slot: "tmobile".to_string(),
+                    // Mid-band-only, sparser than the paper's T-Mobile:
+                    // no mmWave, thinner LTE-A, wider tower spacing.
+                    scales: vec![
+                        TechScale {
+                            tech: "5G-mmWave".to_string(),
+                            coverage: 0.0,
+                            spacing: 1.0,
+                            promotion: 1.0,
+                        },
+                        TechScale {
+                            tech: "5G-mid".to_string(),
+                            coverage: 0.75,
+                            spacing: 1.6,
+                            promotion: 0.9,
+                        },
+                        TechScale {
+                            tech: "LTE-A".to_string(),
+                            coverage: 0.8,
+                            spacing: 1.3,
+                            promotion: 1.0,
+                        },
+                    ],
+                    edge_servers: None,
+                },
+                OperatorSpec {
+                    slot: "att".to_string(),
+                    scales: vec![
+                        TechScale {
+                            tech: "5G-mmWave".to_string(),
+                            coverage: 0.0,
+                            spacing: 1.0,
+                            promotion: 1.0,
+                        },
+                        TechScale {
+                            tech: "5G-low".to_string(),
+                            coverage: 0.9,
+                            spacing: 1.4,
+                            promotion: 1.1,
+                        },
+                    ],
+                    edge_servers: Some(true),
+                },
+            ],
+            fleet: FleetSpec {
+                clouds: vec![CloudSpec {
+                    name: "EC2 Oregon".to_string(),
+                    lat: 45.84,
+                    lon: -119.7,
+                }],
+                cloud_by_tz: vec![0, 0, 0, 0],
+                edge_radius_m: 40_000.0,
+            },
+            schedule: ScheduleSpec {
+                tput_s: 30.0,
+                rtt_s: 20.0,
+                app_offload_s: 20.0,
+                video_s: 120.0,
+                game_s: 60.0,
+                run_apps: true,
+                run_static: true,
+                run_passive: true,
+            },
+        }
+    }
+
+    /// A dense urban loop: three operators with aggressive mmWave
+    /// build-out, low vehicle speeds, frequent stops, edge everywhere.
+    pub fn metro_loop() -> Self {
+        let city = |name: &str, state: &str, lat: f64, lon: f64, scale: f64, edge| CitySpec {
+            name: name.to_string(),
+            state: state.to_string(),
+            lat,
+            lon,
+            scale,
+            major: true,
+            edge,
+        };
+        ScenarioSpec {
+            name: "metro-loop".to_string(),
+            description: "Dense urban mmWave loop, 3 operators, low speed, edge in every borough"
+                .to_string(),
+            route: RouteSpec {
+                cities: vec![
+                    city("Downtown", "NY", 40.7128, -74.0060, 1.6, true),
+                    city("Midtown", "NY", 40.7549, -73.9840, 1.6, true),
+                    city("Uptown", "NY", 40.8116, -73.9465, 1.2, false),
+                    city("Bronx Hub", "NY", 40.8448, -73.8648, 1.0, true),
+                    city("Queens Plaza", "NY", 40.7498, -73.9375, 1.2, false),
+                    city("Brooklyn Center", "NY", 40.6782, -73.9442, 1.4, true),
+                    city("Harbor Point", "NY", 40.7003, -74.0140, 1.0, false),
+                ],
+                target_total_m: Some(90_000.0),
+            },
+            trip: TripSpec {
+                ou_theta: 0.06,
+                ou_sigma_mph: 2.8,
+                // Dense signals: a stop every few hundred meters.
+                city_stop_per_m: 1.0 / 350.0,
+                stop_s: (10.0, 45.0),
+                max_mph: 45.0,
+                overnight_cities: vec!["Brooklyn Center".to_string()],
+            },
+            operators: vec![
+                OperatorSpec {
+                    slot: "verizon".to_string(),
+                    scales: vec![
+                        TechScale {
+                            tech: "5G-mmWave".to_string(),
+                            coverage: 1.8,
+                            spacing: 0.6,
+                            promotion: 1.4,
+                        },
+                        TechScale {
+                            tech: "5G-mid".to_string(),
+                            coverage: 1.3,
+                            spacing: 0.8,
+                            promotion: 1.2,
+                        },
+                    ],
+                    edge_servers: Some(true),
+                },
+                OperatorSpec {
+                    slot: "tmobile".to_string(),
+                    scales: vec![
+                        TechScale {
+                            tech: "5G-mmWave".to_string(),
+                            coverage: 2.5,
+                            spacing: 0.7,
+                            promotion: 1.3,
+                        },
+                    ],
+                    edge_servers: Some(true),
+                },
+                OperatorSpec {
+                    slot: "att".to_string(),
+                    scales: vec![
+                        TechScale {
+                            tech: "5G-mmWave".to_string(),
+                            coverage: 3.0,
+                            spacing: 0.8,
+                            promotion: 1.5,
+                        },
+                        TechScale {
+                            tech: "5G-mid".to_string(),
+                            coverage: 1.2,
+                            spacing: 0.9,
+                            promotion: 1.2,
+                        },
+                    ],
+                    edge_servers: Some(true),
+                },
+            ],
+            fleet: FleetSpec {
+                clouds: vec![CloudSpec {
+                    name: "EC2 Virginia".to_string(),
+                    lat: 38.94,
+                    lon: -77.45,
+                }],
+                cloud_by_tz: vec![0, 0, 0, 0],
+                edge_radius_m: 15_000.0,
+            },
+            schedule: ScheduleSpec {
+                tput_s: 30.0,
+                rtt_s: 20.0,
+                app_offload_s: 20.0,
+                video_s: 180.0,
+                game_s: 60.0,
+                run_apps: true,
+                run_static: true,
+                run_passive: true,
+            },
+        }
+    }
+
+    /// Every registered scenario, paper first.
+    pub fn registry() -> Vec<ScenarioSpec> {
+        vec![Self::paper(), Self::rail_corridor(), Self::metro_loop()]
+    }
+
+    /// Look a registered scenario up by name.
+    pub fn find(name: &str) -> Option<ScenarioSpec> {
+        Self::registry().into_iter().find(|s| s.name == name)
+    }
+
+    /// Check the spec is internally consistent; returns the first problem
+    /// found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name is empty".to_string());
+        }
+        if self.route.cities.len() < 2 {
+            return Err(format!(
+                "route needs at least two cities, got {}",
+                self.route.cities.len()
+            ));
+        }
+        for c in &self.route.cities {
+            if !(c.lat.is_finite() && c.lon.is_finite() && c.scale.is_finite() && c.scale > 0.0) {
+                return Err(format!("city {:?} has non-finite or non-positive fields", c.name));
+            }
+        }
+        if let Some(t) = self.route.target_total_m {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(format!("target_total_m must be positive, got {t}"));
+            }
+        }
+        if self.trip.overnight_cities.is_empty() {
+            return Err("trip needs at least one overnight city".to_string());
+        }
+        for name in &self.trip.overnight_cities {
+            if !self.route.cities.iter().any(|c| &c.name == name) {
+                return Err(format!("overnight city {name:?} is not on the route"));
+            }
+        }
+        if !(self.trip.stop_s.0 < self.trip.stop_s.1 && self.trip.stop_s.0 >= 0.0) {
+            return Err(format!("stop_s range {:?} is invalid", self.trip.stop_s));
+        }
+        if !(self.trip.max_mph.is_finite() && self.trip.max_mph > 0.0) {
+            return Err(format!("max_mph must be positive, got {}", self.trip.max_mph));
+        }
+        if self.operators.is_empty() {
+            return Err("scenario needs at least one operator".to_string());
+        }
+        for o in &self.operators {
+            if Operator::from_slot(&o.slot).is_none() {
+                return Err(format!(
+                    "unknown operator slot {:?} (verizon|tmobile|att)",
+                    o.slot
+                ));
+            }
+            for s in &o.scales {
+                if tech_by_key(&s.tech).is_none() {
+                    return Err(format!("unknown technology key {:?}", s.tech));
+                }
+                if !(s.coverage.is_finite() && s.coverage >= 0.0)
+                    || !(s.spacing.is_finite() && s.spacing > 0.0)
+                    || !(s.promotion.is_finite() && s.promotion >= 0.0)
+                {
+                    return Err(format!("scales for {:?} out of range", s.tech));
+                }
+            }
+        }
+        let mut slots: Vec<&str> = self.operators.iter().map(|o| o.slot.as_str()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        if slots.len() != self.operators.len() {
+            return Err("operator slots must be distinct".to_string());
+        }
+        if self.fleet.clouds.is_empty() {
+            return Err("fleet needs at least one cloud".to_string());
+        }
+        if self.fleet.cloud_by_tz.len() != Timezone::ALL.len() {
+            return Err(format!(
+                "cloud_by_tz needs one entry per timezone ({}), got {}",
+                Timezone::ALL.len(),
+                self.fleet.cloud_by_tz.len()
+            ));
+        }
+        if let Some(&bad) = self
+            .fleet
+            .cloud_by_tz
+            .iter()
+            .find(|&&i| i >= self.fleet.clouds.len())
+        {
+            return Err(format!("cloud_by_tz index {bad} out of range"));
+        }
+        if !(self.fleet.edge_radius_m.is_finite() && self.fleet.edge_radius_m >= 0.0) {
+            return Err(format!(
+                "edge_radius_m must be non-negative, got {}",
+                self.fleet.edge_radius_m
+            ));
+        }
+        let s = &self.schedule;
+        for (label, v) in [
+            ("tput_s", s.tput_s),
+            ("rtt_s", s.rtt_s),
+            ("app_offload_s", s.app_offload_s),
+            ("video_s", s.video_s),
+            ("game_s", s.game_s),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("schedule {label} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile the spec into concrete world objects for `seed`.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec; call [`ScenarioSpec::validate`] first
+    /// when the spec comes from outside.
+    pub fn build(&self, seed: u64) -> ScenarioWorld {
+        let cities: Vec<City> = self
+            .route
+            .cities
+            .iter()
+            .map(|c| City {
+                name: intern(&c.name),
+                state: intern(&c.state),
+                center: LatLon { lat: c.lat, lon: c.lon },
+                scale: c.scale,
+                major: c.major,
+                edge_server: c.edge,
+            })
+            .collect();
+        let route = Route::from_cities(cities, self.route.target_total_m);
+        let profile = SpeedProfile {
+            ou_theta: self.trip.ou_theta,
+            ou_sigma_mph: self.trip.ou_sigma_mph,
+            city_stop_per_m: self.trip.city_stop_per_m,
+            stop_s: self.trip.stop_s,
+            max_mph: self.trip.max_mph,
+        };
+        let overnights: Vec<&str> = self.trip.overnight_cities.iter().map(|s| s.as_str()).collect();
+        let edge_sites: Vec<(LatLon, &'static str)> = route
+            .cities()
+            .iter()
+            .filter(|c| c.edge_server)
+            .map(|c| (c.center, c.name))
+            .collect();
+        let plan = DrivePlan::generate_with_stops(route, &profile, &overnights, seed);
+        let ops = self
+            .operators
+            .iter()
+            .map(|o| {
+                let op = Operator::from_slot(&o.slot).expect("validated operator slot");
+                let mut tuning = OperatorTuning::NEUTRAL;
+                for s in &o.scales {
+                    let ti = tech_pos(tech_by_key(&s.tech).expect("validated technology key"));
+                    tuning.coverage_scale[ti] = s.coverage;
+                    tuning.spacing_scale[ti] = s.spacing;
+                    tuning.promotion_scale[ti] = s.promotion;
+                }
+                (op, tuning, o.edge_servers.unwrap_or(op.has_edge_servers()))
+            })
+            .collect();
+        let clouds: Vec<Server> = self
+            .fleet
+            .clouds
+            .iter()
+            .map(|c| Server {
+                kind: ServerKind::Cloud,
+                pos: LatLon { lat: c.lat, lon: c.lon },
+                name: intern(&c.name),
+            })
+            .collect();
+        let selector = ServerSelector::from_parts(
+            clouds,
+            self.fleet.cloud_by_tz.clone(),
+            edge_sites,
+            self.fleet.edge_radius_m,
+        );
+        ScenarioWorld {
+            plan,
+            ops,
+            selector,
+            schedule: Schedule {
+                tput_s: self.schedule.tput_s,
+                rtt_s: self.schedule.rtt_s,
+                app_offload_s: self.schedule.app_offload_s,
+                video_s: self.schedule.video_s,
+                game_s: self.schedule.game_s,
+                run_apps: self.schedule.run_apps,
+                run_static: self.schedule.run_static,
+                run_passive: self.schedule.run_passive,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_scenario_validates() {
+        for spec in ScenarioSpec::registry() {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn registry_names_are_distinct_and_paper_first() {
+        let names: Vec<String> = ScenarioSpec::registry().into_iter().map(|s| s.name).collect();
+        assert_eq!(names[0], "paper");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn paper_spec_is_neutral() {
+        let spec = ScenarioSpec::paper();
+        let world = spec.build(7);
+        assert_eq!(world.plan.days().len(), 8);
+        for (op, tuning, edge) in &world.ops {
+            assert_eq!(*tuning, OperatorTuning::NEUTRAL);
+            assert_eq!(*edge, op.has_edge_servers());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut s = ScenarioSpec::paper();
+        s.operators.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::paper();
+        s.route.cities.truncate(1);
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::paper();
+        s.trip.overnight_cities = vec!["Atlantis".to_string()];
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::paper();
+        s.operators[0].slot = "sprint".to_string();
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::paper();
+        s.fleet.cloud_by_tz = vec![0];
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::paper();
+        s.operators[1].slot = s.operators[0].slot.clone();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn non_paper_worlds_build() {
+        for spec in [ScenarioSpec::rail_corridor(), ScenarioSpec::metro_loop()] {
+            let world = spec.build(42);
+            assert!(!world.plan.days().is_empty(), "{}", spec.name);
+            assert!(!world.ops.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn intern_deduplicates() {
+        let a = intern("scenario-intern-test");
+        let b = intern("scenario-intern-test");
+        assert!(std::ptr::eq(a, b));
+    }
+}

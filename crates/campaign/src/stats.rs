@@ -1,14 +1,14 @@
 //! Table 1: driving dataset statistics.
 
-use wheels_geo::cities::{major_cities, states_crossed};
 use wheels_geo::route::Route;
-use wheels_geo::timezone::Timezone;
 use wheels_ran::operator::Operator;
 use wheels_xcal::database::{ConsolidatedDb, TestKind};
 
 /// The dataset statistics of Table 1, computed from a campaign run.
 #[derive(Debug, Clone)]
 pub struct Table1 {
+    /// The operator panel the per-operator columns refer to.
+    pub ops: Vec<Operator>,
     /// Total geographic distance, km.
     pub distance_km: f64,
     /// States / major cities / counties-equivalent (we report waypoint
@@ -18,28 +18,35 @@ pub struct Table1 {
     pub major_cities: usize,
     /// Timezones crossed.
     pub timezones: usize,
-    /// Unique cells connected per operator (V, T, A).
-    pub unique_cells: [usize; 3],
-    /// Handovers per operator (V, T, A) — from the passive loggers, like
-    /// the paper's Table 1.
-    pub handovers: [usize; 3],
+    /// Unique cells connected per operator, [`Table1::ops`] order.
+    pub unique_cells: Vec<usize>,
+    /// Handovers per operator — from the passive loggers, like the
+    /// paper's Table 1.
+    pub handovers: Vec<usize>,
     /// Total data received across tests, GB.
     pub rx_gb: f64,
     /// Total data transmitted across tests, GB.
     pub tx_gb: f64,
-    /// Cumulative experiment runtime per operator (V, T, A), minutes.
-    pub runtime_min: [f64; 3],
+    /// Cumulative experiment runtime per operator, minutes.
+    pub runtime_min: Vec<f64>,
 }
 
 impl Table1 {
-    /// Compute the table from a campaign database and route.
+    /// Compute the table for the paper's three-operator panel.
     pub fn compute(db: &ConsolidatedDb, route: &Route) -> Self {
-        let mut unique_cells = [0usize; 3];
-        let mut handovers = [0usize; 3];
-        let mut runtime_min = [0f64; 3];
+        Self::compute_for(db, route, &Operator::ALL)
+    }
+
+    /// Compute the table for an explicit operator panel. Geography counts
+    /// (states, major cities, timezones) come from the route's own
+    /// waypoints, so scenario routes report their own numbers.
+    pub fn compute_for(db: &ConsolidatedDb, route: &Route, ops: &[Operator]) -> Self {
+        let mut unique_cells = vec![0usize; ops.len()];
+        let mut handovers = vec![0usize; ops.len()];
+        let mut runtime_min = vec![0f64; ops.len()];
         let mut rx_bytes = 0f64;
         let mut tx_bytes = 0f64;
-        for (i, &op) in Operator::ALL.iter().enumerate() {
+        for (i, &op) in ops.iter().enumerate() {
             unique_cells[i] = db.unique_cells(op);
             handovers[i] = db
                 .passive_for(op)
@@ -91,11 +98,18 @@ impl Table1 {
                 TestKind::Rtt => {}
             }
         }
+        let mut states: Vec<&str> = route.cities().iter().map(|c| c.state).collect();
+        states.sort_unstable();
+        states.dedup();
+        let mut tzs: Vec<_> = route.cities().iter().map(|c| c.timezone()).collect();
+        tzs.sort();
+        tzs.dedup();
         Table1 {
+            ops: ops.to_vec(),
             distance_km: route.total_m() / 1_000.0,
-            states: states_crossed(),
-            major_cities: major_cities().count(),
-            timezones: Timezone::ALL.len(),
+            states: states.len(),
+            major_cities: route.cities().iter().filter(|c| c.major).count(),
+            timezones: tzs.len(),
             unique_cells,
             handovers,
             rx_gb: rx_bytes / 1e9,
@@ -104,32 +118,43 @@ impl Table1 {
         }
     }
 
-    /// Render in the paper's layout.
+    /// Join one per-operator column as `"v0 (C0), v1 (C1), ..."` using
+    /// the operators' single-letter codes.
+    fn per_op_row<T: std::fmt::Display>(&self, values: impl Iterator<Item = T>) -> String {
+        values
+            .zip(&self.ops)
+            .map(|(v, op)| format!("{} ({})", v, op.code()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Render in the paper's layout (operator columns follow the panel).
     pub fn render(&self) -> String {
+        let operators = self
+            .ops
+            .iter()
+            .map(|op| format!("{} ({})", op.label(), op.code()))
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "Total geographical distance travelled | {:.0} km\n\
              States/major cities traveled          | {}/{}\n\
              Timezones traveled                    | {}\n\
-             Operators                             | Verizon (V), T-Mobile (T), AT&T (A)\n\
-             # of unique cells connected           | {} (V), {} (T), {} (A)\n\
-             # of handovers                        | {} (V), {} (T), {} (A)\n\
+             Operators                             | {}\n\
+             # of unique cells connected           | {}\n\
+             # of handovers                        | {}\n\
              Total cellular data used              | {:.1} GB (Rx), {:.1} GB (Tx)\n\
-             Cumulative experiment runtime         | {:.0} min (V), {:.0} min (T), {:.0} min (A)\n",
+             Cumulative experiment runtime         | {}\n",
             self.distance_km,
             self.states,
             self.major_cities,
             self.timezones,
-            self.unique_cells[0],
-            self.unique_cells[1],
-            self.unique_cells[2],
-            self.handovers[0],
-            self.handovers[1],
-            self.handovers[2],
+            operators,
+            self.per_op_row(self.unique_cells.iter()),
+            self.per_op_row(self.handovers.iter()),
             self.rx_gb,
             self.tx_gb,
-            self.runtime_min[0],
-            self.runtime_min[1],
-            self.runtime_min[2],
+            self.per_op_row(self.runtime_min.iter().map(|m| format!("{m:.0} min"))),
         )
     }
 }

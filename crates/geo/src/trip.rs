@@ -124,10 +124,22 @@ impl DrivePlan {
     /// (cities not present on the route are skipped; the final day always
     /// ends at the route's end).
     pub fn generate(route: Route, profile: &SpeedProfile, seed: u64) -> Self {
+        Self::generate_with_stops(route, profile, &OVERNIGHT_CITIES, seed)
+    }
+
+    /// Generate a plan for `route`, splitting days at the named overnight
+    /// stops (cities not present on the route are skipped; the final day
+    /// always ends at the route's end).
+    pub fn generate_with_stops(
+        route: Route,
+        profile: &SpeedProfile,
+        overnights: &[&str],
+        seed: u64,
+    ) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
         // Resolve overnight odometer marks present on this route.
         let mut marks: Vec<(f64, &'static str)> = Vec::new();
-        for name in OVERNIGHT_CITIES {
+        for &name in overnights {
             if let Some((i, c)) = route
                 .cities()
                 .iter()

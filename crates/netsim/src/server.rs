@@ -67,37 +67,83 @@ pub const CLOUD_OHIO: Server = Server {
 /// Radius around a Wavelength city within which the edge server is used.
 pub const EDGE_RADIUS_M: f64 = 60_000.0;
 
-/// Chooses the server for a test, per the paper's §3 rules.
+/// Chooses the server for a test, per the paper's §3 rules. The fleet is
+/// data: clouds, a timezone→cloud mapping, and edge sites with a service
+/// radius — so scenario specs can describe any server deployment.
 #[derive(Debug, Clone)]
 pub struct ServerSelector {
+    clouds: Vec<Server>,
+    /// Index into `clouds` per [`Timezone::ALL`] entry.
+    cloud_by_tz: Vec<usize>,
     edge_sites: Vec<(LatLon, &'static str)>,
+    edge_radius_m: f64,
 }
 
 impl ServerSelector {
-    /// Build the selector with the five Wavelength cities from the route.
+    /// Build the selector with the paper fleet: CA/OH clouds split at the
+    /// Mountain/Central boundary and the five Wavelength cities from the
+    /// route.
     pub fn new() -> Self {
+        Self::from_parts(
+            vec![CLOUD_CALIFORNIA, CLOUD_OHIO],
+            vec![0, 0, 1, 1],
+            edge_cities().map(|(_, c)| (c.center, c.name)).collect(),
+            EDGE_RADIUS_M,
+        )
+    }
+
+    /// Build a selector from explicit fleet data.
+    ///
+    /// # Panics
+    /// Panics if `cloud_by_tz` does not name one valid cloud index per
+    /// entry of [`Timezone::ALL`].
+    pub fn from_parts(
+        clouds: Vec<Server>,
+        cloud_by_tz: Vec<usize>,
+        edge_sites: Vec<(LatLon, &'static str)>,
+        edge_radius_m: f64,
+    ) -> Self {
+        assert_eq!(
+            cloud_by_tz.len(),
+            Timezone::ALL.len(),
+            "one cloud per timezone required"
+        );
+        assert!(
+            cloud_by_tz.iter().all(|&i| i < clouds.len()),
+            "cloud_by_tz index out of range"
+        );
         ServerSelector {
-            edge_sites: edge_cities().map(|(_, c)| (c.center, c.name)).collect(),
+            clouds,
+            cloud_by_tz,
+            edge_sites,
+            edge_radius_m,
         }
     }
 
     /// The cloud server used from a given timezone.
     pub fn cloud_for(&self, tz: Timezone) -> Server {
-        match tz {
-            Timezone::Pacific | Timezone::Mountain => CLOUD_CALIFORNIA,
-            Timezone::Central | Timezone::Eastern => CLOUD_OHIO,
-        }
+        let zi = Timezone::ALL
+            .iter()
+            .position(|&z| z == tz)
+            .expect("known timezone");
+        self.clouds[self.cloud_by_tz[zi]]
     }
 
     /// Select the server for a test by `op` at position `pos` in timezone
     /// `tz`: the in-city Wavelength edge for Verizon near one of the five
     /// edge cities, otherwise the timezone's cloud server.
     pub fn select(&self, op: Operator, pos: LatLon, tz: Timezone) -> Server {
-        if op.has_edge_servers() {
+        self.select_for(op.has_edge_servers(), pos, tz)
+    }
+
+    /// [`ServerSelector::select`] with the edge entitlement passed
+    /// explicitly (scenario specs may override the per-operator default).
+    pub fn select_for(&self, has_edge: bool, pos: LatLon, tz: Timezone) -> Server {
+        if has_edge {
             if let Some((center, name)) = self
                 .edge_sites
                 .iter()
-                .find(|(c, _)| c.haversine_m(&pos) <= EDGE_RADIUS_M)
+                .find(|(c, _)| c.haversine_m(&pos) <= self.edge_radius_m)
             {
                 return Server {
                     kind: ServerKind::Edge,

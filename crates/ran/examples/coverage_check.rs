@@ -43,8 +43,8 @@ fn main() {
             print!(" {}={:5.1}%", tech.label(), 100.0 * counts[j] as f64 / n as f64);
         }
         println!(" outage={:4.1}%", 100.0*counts[5] as f64 / n as f64);
-        dl_caps.sort_by(|a,b| a.partial_cmp(b).unwrap());
-        ul_caps.sort_by(|a,b| a.partial_cmp(b).unwrap());
+        dl_caps.sort_by(f64::total_cmp);
+        ul_caps.sort_by(f64::total_cmp);
         let q = |v: &Vec<f64>, p: f64| v[(v.len() as f64 * p) as usize];
         println!("   DL cap: p25={:6.1} med={:6.1} p75={:6.1} p95={:7.1} max={:7.1} | <5Mbps {:4.1}%",
             q(&dl_caps,0.25), q(&dl_caps,0.5), q(&dl_caps,0.75), q(&dl_caps,0.95), dl_caps.last().unwrap(),

@@ -28,6 +28,7 @@ use wheels_radio::band::Technology;
 
 use crate::cell::{CellDb, CellId, CellSite};
 use crate::operator::Operator;
+use crate::tuning::OperatorTuning;
 
 /// Deployment plan of one technology layer in one (region, timezone)
 /// context.
@@ -263,12 +264,42 @@ pub fn eirp_re_dbm(op: Operator, tech: Technology, rng: &mut SmallRng) -> f64 {
     base + rng.gen_range(-1.5..1.5)
 }
 
+/// [`layer_plan`] with a scenario tuning applied: coverage and spacing are
+/// scaled per technology. The neutral tuning reproduces `layer_plan`
+/// bit-for-bit (`x * 1.0 == x`, and clamping a value already in [0, 1] is
+/// the identity).
+pub fn layer_plan_tuned(
+    op: Operator,
+    tech: Technology,
+    region: RegionKind,
+    tz: Timezone,
+    tuning: &OperatorTuning,
+) -> LayerPlan {
+    let base = layer_plan(op, tech, region, tz);
+    LayerPlan {
+        coverage: (base.coverage * tuning.coverage(tech)).clamp(0.0, 1.0),
+        spacing_m: base.spacing_m * tuning.spacing(tech),
+        patch_len_m: base.patch_len_m,
+    }
+}
+
 /// Generate the full cell database for one operator along `route`.
 ///
 /// Deterministic in `(op, seed)`. Cell ids are unique within the returned
 /// database; combine operators with distinct seeds and id offsets via
 /// [`build_all`].
 pub fn build_cells(route: &Route, op: Operator, seed: u64, id_offset: u32) -> CellDb {
+    build_cells_tuned(route, op, seed, id_offset, &OperatorTuning::NEUTRAL)
+}
+
+/// [`build_cells`] with scenario tuning applied to every layer plan.
+pub fn build_cells_tuned(
+    route: &Route,
+    op: Operator,
+    seed: u64,
+    id_offset: u32,
+    tuning: &OperatorTuning,
+) -> CellDb {
     let mut rng = SmallRng::seed_from_u64(seed ^ (op as u64).wrapping_mul(0x9E37_79B9));
     let tile_m = 250.0;
     let mut sites = Vec::new();
@@ -282,7 +313,7 @@ pub fn build_cells(route: &Route, op: Operator, seed: u64, id_offset: u32) -> Ce
         while od < route.total_m() {
             let region = route.region_at(od);
             let tz = route.timezone_at(od);
-            let plan = layer_plan(op, tech, region, tz);
+            let plan = layer_plan_tuned(op, tech, region, tz, tuning);
             // Markov patch persistence: re-draw the coverage state with
             // probability tile/patch_len, else keep it.
             let redraw = !state_valid || rng.gen_bool((tile_m / plan.patch_len_m).clamp(0.0, 1.0));
@@ -328,12 +359,35 @@ pub fn build_cells(route: &Route, op: Operator, seed: u64, id_offset: u32) -> Ce
 /// Build the cell databases of all three operators with non-overlapping
 /// cell-id ranges.
 pub fn build_all(route: &Route, seed: u64) -> [CellDb; 3] {
-    
+
     [
         build_cells(route, Operator::Verizon, seed, 0),
         build_cells(route, Operator::TMobile, seed.wrapping_add(1), 1_000_000),
         build_cells(route, Operator::Att, seed.wrapping_add(2), 2_000_000),
     ]
+}
+
+/// Build the cell databases of an arbitrary operator set with per-operator
+/// tuning. Seeds and id offsets are keyed on the operator *slot* (not the
+/// list position), so a subset scenario sees exactly the deployment the
+/// full panel would — and the full three-operator panel with neutral
+/// tunings reproduces [`build_all`] bit-for-bit.
+pub fn build_ops(
+    route: &Route,
+    seed: u64,
+    ops: &[(Operator, OperatorTuning)],
+) -> Vec<CellDb> {
+    ops.iter()
+        .map(|(op, tuning)| {
+            build_cells_tuned(
+                route,
+                *op,
+                seed.wrapping_add(*op as u64),
+                *op as u32 * 1_000_000,
+                tuning,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -176,7 +176,7 @@ mod tests {
         let mut rng = sub_rng(1, 1);
         for op in Operator::ALL {
             let mut v: Vec<f64> = (0..20_000).map(|_| draw_interruption_ms(op, &mut rng)).collect();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             let med = v[v.len() / 2];
             let p75 = v[(v.len() * 3) / 4];
             let target = median_interruption_ms(op);

@@ -34,6 +34,7 @@ pub mod load;
 pub mod operator;
 pub mod policy;
 pub mod selection;
+pub mod tuning;
 pub mod ue;
 
 pub use cell::{CellDb, CellId, CellSite};
@@ -41,6 +42,7 @@ pub use config::LinkConfig;
 pub use handover::{HandoverEvent, HandoverKind};
 pub use operator::Operator;
 pub use policy::{TrafficDemand, UpgradePolicy};
+pub use tuning::OperatorTuning;
 pub use ue::{LinkSnapshot, UeRadio};
 
 /// Traffic direction. The paper analyzes downlink and uplink separately

@@ -152,7 +152,7 @@ mod tests {
         let mut v: Vec<f64> = (0..40_000)
             .map(|i| p.share_at(i as f64 * 30.0)) // decorrelated samples
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let med = v[v.len() / 2];
         assert!((0.22..0.45).contains(&med), "median {med}");
     }

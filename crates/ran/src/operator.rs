@@ -59,6 +59,21 @@ impl Operator {
     pub fn has_edge_servers(self) -> bool {
         matches!(self, Operator::Verizon)
     }
+
+    /// Stable machine-readable key used by scenario specs to select this
+    /// operator slot.
+    pub fn slot_key(self) -> &'static str {
+        match self {
+            Operator::Verizon => "verizon",
+            Operator::TMobile => "tmobile",
+            Operator::Att => "att",
+        }
+    }
+
+    /// Resolve a scenario slot key back to the operator.
+    pub fn from_slot(key: &str) -> Option<Operator> {
+        Operator::ALL.into_iter().find(|op| op.slot_key() == key)
+    }
 }
 
 impl fmt::Display for Operator {

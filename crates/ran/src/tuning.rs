@@ -1,0 +1,77 @@
+//! Multiplicative per-operator tuning knobs for the scenario layer.
+//!
+//! A scenario reuses an operator *slot* (its link configurations, beam
+//! profile, handover distribution — the parameter family calibrated
+//! against the paper) and scales the deployment densities and
+//! upgrade-policy aggressiveness per technology. The neutral tuning
+//! (every factor 1.0) is an exact no-op: `x * 1.0 == x` bit-for-bit in
+//! IEEE-754, and every scaled quantity is re-clamped to the range it
+//! already occupied, so the paper scenario stays byte-identical to the
+//! pre-scenario code path.
+
+use wheels_radio::band::Technology;
+
+/// Per-technology multiplicative overrides for one operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorTuning {
+    /// Multiplier on layer coverage fraction, [`Technology::ALL`] order.
+    pub coverage_scale: [f64; 5],
+    /// Multiplier on cell spacing (larger = sparser), [`Technology::ALL`]
+    /// order.
+    pub spacing_scale: [f64; 5],
+    /// Multiplier on the upgrade-policy promotion probability,
+    /// [`Technology::ALL`] order.
+    pub promotion_scale: [f64; 5],
+}
+
+impl OperatorTuning {
+    /// The identity tuning: every factor 1.0 (exact no-op).
+    pub const NEUTRAL: OperatorTuning = OperatorTuning {
+        coverage_scale: [1.0; 5],
+        spacing_scale: [1.0; 5],
+        promotion_scale: [1.0; 5],
+    };
+
+    /// Coverage multiplier for `tech`.
+    pub fn coverage(&self, tech: Technology) -> f64 {
+        self.coverage_scale[tech_pos(tech)]
+    }
+
+    /// Spacing multiplier for `tech`.
+    pub fn spacing(&self, tech: Technology) -> f64 {
+        self.spacing_scale[tech_pos(tech)]
+    }
+
+    /// Promotion-probability multiplier for `tech`.
+    pub fn promotion(&self, tech: Technology) -> f64 {
+        self.promotion_scale[tech_pos(tech)]
+    }
+}
+
+impl Default for OperatorTuning {
+    fn default() -> Self {
+        Self::NEUTRAL
+    }
+}
+
+fn tech_pos(tech: Technology) -> usize {
+    Technology::ALL
+        .iter()
+        .position(|&t| t == tech)
+        .expect("known technology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_is_all_ones() {
+        let t = OperatorTuning::default();
+        for tech in Technology::ALL {
+            assert_eq!(t.coverage(tech), 1.0);
+            assert_eq!(t.spacing(tech), 1.0);
+            assert_eq!(t.promotion(tech), 1.0);
+        }
+    }
+}

@@ -25,6 +25,7 @@ use crate::load::{LoadParams, LoadProcess};
 use crate::operator::Operator;
 use crate::policy::{TrafficDemand, UpgradePolicy};
 use crate::selection::{evaluate_layer, sinr_db, sub_rng, LayerCandidate, ShadowStore};
+use crate::tuning::OperatorTuning;
 use crate::Direction;
 
 /// Tuning knobs for a UE instance.
@@ -122,6 +123,9 @@ pub struct UeRadio {
     db: Arc<CellDb>,
     params: UeParams,
     policy: UpgradePolicy,
+    /// Scenario multiplier on promotion probabilities, `Technology::ALL`
+    /// order (all 1.0 outside scenario overrides — an exact no-op).
+    promo_scale: [f64; 5],
     shadows: ShadowStore,
     rng: SmallRng,
     load_dl: LoadProcess,
@@ -138,11 +142,23 @@ impl UeRadio {
     /// Create a UE on `op`'s network. `seed` controls every random element
     /// of this UE (shadowing realizations, load, policy dice).
     pub fn new(op: Operator, db: Arc<CellDb>, params: UeParams, seed: u64) -> Self {
+        Self::new_tuned(op, db, params, seed, &OperatorTuning::NEUTRAL)
+    }
+
+    /// [`UeRadio::new`] with scenario tuning applied to the upgrade policy.
+    pub fn new_tuned(
+        op: Operator,
+        db: Arc<CellDb>,
+        params: UeParams,
+        seed: u64,
+        tuning: &OperatorTuning,
+    ) -> Self {
         assert_eq!(db.op(), op, "cell database belongs to a different operator");
         UeRadio {
             op,
             db,
             policy: UpgradePolicy,
+            promo_scale: tuning.promotion_scale,
             shadows: ShadowStore::new(seed),
             rng: sub_rng(seed, 11),
             load_dl: LoadProcess::new(params.load, seed ^ 0xD1),
@@ -304,7 +320,9 @@ impl UeRadio {
             if cands[tech_idx(tech)].is_none() {
                 continue;
             }
-            let mut p = self.policy.promotion_prob(self.op, tech, demand);
+            let mut p = (self.policy.promotion_prob(self.op, tech, demand)
+                * self.promo_scale[tech_idx(tech)])
+            .clamp(0.0, 1.0);
             // mmWave under light traffic happens essentially only when the
             // vehicle is (nearly) stationary (§5.5, Fig. 8).
             if tech == Technology::Nr5gMmWave
