@@ -4,6 +4,18 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== determinism lint =="
+# Source-level enforcement of the determinism invariant (rules D1-D5:
+# float partial_cmp sorts, hash-ordered collections, ambient clocks and
+# entropy, bare RNG construction, partial_cmp unwraps). Runs first: it
+# needs only the tiny dependency-free lint crate, so a violation fails
+# CI in seconds instead of after the full build. The fixture self-check
+# proves every rule both fires and is suppressible before the workspace
+# run is trusted, and the lint crate itself must build warning-free.
+RUSTFLAGS="-D warnings" cargo build --offline -p wheels-lint
+cargo run -q --offline -p wheels-lint -- --fixtures
+cargo run -q --offline -p wheels-lint -- crates/ src/ examples/ tests/
+
 echo "== build (release) =="
 cargo build --release --offline
 

@@ -6,7 +6,7 @@
 //! technology bins: HT = high-throughput (5G mid/mmWave), LT = everything
 //! else (§5.4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wheels_ran::operator::Operator;
 use wheels_ran::Direction;
@@ -16,7 +16,7 @@ use crate::index::AnalysisIndex;
 use crate::render::{cdf_header, cdf_row};
 
 /// Technology bin of a concurrent sample pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TechBin {
     /// Both operators on high-throughput technologies.
     HtHt,
@@ -99,7 +99,7 @@ pub fn compute(ix: &AnalysisIndex<'_>) -> OperatorDiversity {
         let by_time = ix.concurrent_map(dir);
         for pair in panel_pairs(ix.ops()) {
             let mut all = Vec::new();
-            let mut bins: HashMap<TechBin, Vec<f64>> = HashMap::new();
+            let mut bins: BTreeMap<TechBin, Vec<f64>> = BTreeMap::new();
             for ((op, t), &ra) in by_time {
                 if *op != pair.0 {
                     continue;

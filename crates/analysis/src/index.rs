@@ -19,6 +19,10 @@
 //! irrelevant), which keeps report generation byte-identical no matter
 //! how many worker threads race on the cache.
 
+use std::collections::BTreeMap;
+// lint:allow(D2): keyed lookups and a memo cache only; the one iterated
+// hash map (`by_time` below) has its keys sorted before use, and the
+// iterated pairing map is the ordered `pairs` BTreeMap
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -275,8 +279,9 @@ pub struct AnalysisIndex<'a> {
     corr: HashMap<(Operator, Direction), [f64; KPI_COLUMNS]>,
     /// Concurrent throughput tests keyed by (op, rounded start), per
     /// direction (Fig. 6). Last record wins on key collisions, matching
-    /// the previous per-figure construction.
-    pairs: [HashMap<(Operator, i64), u32>; 2],
+    /// the previous per-figure construction. Ordered so Fig. 6 can
+    /// iterate it directly without leaking hash order.
+    pairs: [BTreeMap<(Operator, i64), u32>; 2],
     /// Concurrent all-operator test groups per direction (MPTCP what-if):
     /// record indices in [`AnalysisIndex::ops`] order, sorted by start
     /// time.
@@ -319,7 +324,7 @@ impl<'a> AnalysisIndex<'a> {
                 by_speed: [[0.0; 5]; 3],
             })
             .collect();
-        let mut pairs: [HashMap<(Operator, i64), u32>; 2] = [HashMap::new(), HashMap::new()];
+        let mut pairs: [BTreeMap<(Operator, i64), u32>; 2] = [BTreeMap::new(), BTreeMap::new()];
         let mut by_time: [HashMap<i64, Vec<u32>>; 2] = [HashMap::new(), HashMap::new()];
 
         for (ri, r) in db.records.iter().enumerate() {
@@ -596,8 +601,9 @@ impl<'a> AnalysisIndex<'a> {
     }
 
     /// Concurrent driving throughput tests keyed by `(op, rounded start
-    /// second)` for one direction (Fig. 6 pairing).
-    pub fn concurrent_map(&self, dir: Direction) -> &HashMap<(Operator, i64), u32> {
+    /// second)` for one direction (Fig. 6 pairing). Iteration order is
+    /// the key order, so consumers may fold over it deterministically.
+    pub fn concurrent_map(&self, dir: Direction) -> &BTreeMap<(Operator, i64), u32> {
         &self.pairs[dir_idx(dir)]
     }
 

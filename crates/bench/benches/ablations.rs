@@ -82,7 +82,7 @@ fn ablate_edge(c: &mut Criterion) {
                 )
             })
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     };
     eprintln!(

@@ -48,6 +48,8 @@ impl Phone {
         Phone {
             op,
             ue: UeRadio::new(op, db, params, seed),
+            // lint:allow(D4): `seed` is the unit's netsim::rng-derived
+            // phone-stream seed; the salt splits off the RTT sub-stream
             rtt: RttModel::new(SmallRng::seed_from_u64(seed ^ 0x5EED_0FF1)),
         }
     }

@@ -24,8 +24,7 @@ pub fn find_static_site(db: &CellDb, city_od_m: f64) -> Option<(f64, Technology)
             .min_by(|a, b| {
                 (a.odometer_m - city_od_m)
                     .abs()
-                    .partial_cmp(&(b.odometer_m - city_od_m).abs())
-                    .expect("odometers are finite")
+                    .total_cmp(&(b.odometer_m - city_od_m).abs())
             });
         if let Some(c) = best {
             return Some((c.odometer_m, tech));

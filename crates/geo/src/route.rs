@@ -140,7 +140,7 @@ impl Route {
         // Binary search over segment start offsets.
         match self
             .segments
-            .binary_search_by(|s| s.start_m.partial_cmp(&od).expect("odometer is finite"))
+            .binary_search_by(|s| s.start_m.total_cmp(&od))
         {
             Ok(i) => i,
             Err(0) => 0,

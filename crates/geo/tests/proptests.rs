@@ -68,7 +68,7 @@ proptest! {
     fn route_odometer_monotone(seeds in prop::collection::vec(0.0f64..5_711_000.0, 2..20)) {
         let route = Route::cross_country();
         let mut ods: Vec<f64> = seeds;
-        ods.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ods.sort_by(f64::total_cmp);
         for w in ods.windows(2) {
             let a = route.point_at(w[0]);
             let b = route.point_at(w[1]);

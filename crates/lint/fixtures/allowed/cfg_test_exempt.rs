@@ -1,0 +1,29 @@
+//! `#[cfg(test)]` regions are exempt from D2/D3/D4 (they never run in a
+//! campaign), while D1/D5 still apply — a NaN panic in a test is a
+//! probabilistic CI failure. The test module below therefore uses hash
+//! maps and wall clocks freely but sorts with `total_cmp`.
+
+pub fn production_code(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+    use std::time::Instant;
+
+    #[test]
+    fn exercised() {
+        let t0 = Instant::now();
+        let mut m = HashMap::new();
+        let mut s = HashSet::new();
+        m.insert(1u8, 1u8);
+        s.insert(1u8);
+        let mut v = vec![2.0, 1.0];
+        production_code(&mut v);
+        assert!(v[0] <= v[1]);
+        assert!(t0.elapsed().as_secs() < 60);
+        let _ = rand::thread_rng();
+    }
+}

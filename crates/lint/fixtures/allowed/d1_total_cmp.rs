@@ -1,0 +1,25 @@
+//! Clean counterpart of `bad/d1_sort_partial_cmp.rs`: the same sorts
+//! keyed with `f64::total_cmp` lint clean, and a genuinely-needed
+//! `partial_cmp` comparator can be allowed with a reason.
+
+fn single_line(v: &mut Vec<f64>) {
+    v.sort_by(f64::total_cmp);
+}
+
+fn multi_line(sites: &mut Vec<(f64, u32)>) {
+    sites.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+fn min_max(xs: &[f64]) -> Option<&f64> {
+    let _ = xs.iter().max_by(|a, b| a.total_cmp(b));
+    xs.iter().min_by(|a, b| a.total_cmp(b))
+}
+
+fn search(xs: &[f64], od: f64) -> Result<usize, usize> {
+    xs.binary_search_by(|s| s.total_cmp(&od))
+}
+
+fn suppressed(v: &mut Vec<MyOrd>) {
+    // lint:allow(D1): MyOrd::partial_cmp is total by construction
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,36 @@
+//! Clean counterpart of `bad/d2_hashmap_iteration.rs`: ordered
+//! collections lint clean; an order-insensitive hash map survives with a
+//! written-down justification; test-only hash maps are exempt.
+
+use std::collections::{BTreeMap, BTreeSet};
+// lint:allow(D2): membership-only intern pool, never iterated
+use std::collections::HashSet;
+
+fn shares(samples: &[(u8, f64)]) -> Vec<(u8, f64)> {
+    let mut acc: BTreeMap<u8, f64> = BTreeMap::new();
+    for &(k, v) in samples {
+        *acc.entry(k).or_insert(0.0) += v;
+    }
+    acc.into_iter().collect()
+}
+
+fn dedup(xs: &[u64]) -> usize {
+    let set: BTreeSet<u64> = xs.iter().copied().collect();
+    set.len()
+}
+
+fn interned(pool: &mut HashSet<&'static str>, s: &'static str) -> bool {
+    pool.insert(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u8, 2u8);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Clean counterpart of `bad/d3_ambient_nondeterminism.rs`: timing
+//! instrumentation that never feeds simulation state, annotated the way
+//! `crates/bench/src/bin/repro.rs --timings` is.
+
+use std::time::Duration; // Duration alone is just arithmetic — clean.
+// lint:allow(D3): phase-timing instrumentation, reported not simulated
+use std::time::Instant;
+
+fn timed<F: FnOnce()>(f: F) -> Duration {
+    let t0 = Instant::now(); // lint:allow(D3): reported, never fed back into state
+    f();
+    t0.elapsed()
+}
+
+fn simulated_clock(step: u64) -> f64 {
+    // The simulation's own clock: pure function of the step count.
+    step as f64 * 0.5
+}

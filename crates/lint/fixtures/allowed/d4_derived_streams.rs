@@ -1,0 +1,14 @@
+//! Clean counterpart of `bad/d4_bare_rng.rs`: units draw their streams
+//! through `netsim::rng`, and a constructor that *receives* a derived
+//! seed documents that provenance in its allow.
+
+use wheels_netsim::rng::{self, DOMAIN_PHONE};
+
+fn unit_rng(campaign_seed: u64, op: u64, day: u64) -> impl Sized {
+    rng::stream(campaign_seed, DOMAIN_PHONE, &[op, day])
+}
+
+fn component_rng(derived_seed: u64) -> impl Sized {
+    // lint:allow(D4): seed arrives pre-derived via netsim::rng::derive_seed
+    rand::rngs::SmallRng::seed_from_u64(derived_seed)
+}

@@ -1,0 +1,19 @@
+//! Clean counterpart of `bad/d5_partial_cmp_unwrap.rs`: NaN-safe
+//! handling of `partial_cmp`, or the total order directly.
+
+use std::cmp::Ordering;
+
+fn is_less(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == Ordering::Less
+}
+
+fn rank(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+fn explicit(a: f64, b: f64) -> Option<Ordering> {
+    match a.partial_cmp(&b) {
+        Some(o) => Some(o),
+        None => None,
+    }
+}

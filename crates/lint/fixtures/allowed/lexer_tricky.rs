@@ -1,0 +1,27 @@
+//! Lexer stress file: every forbidden token below lives in a string, a
+//! raw string, a char-adjacent position, or a comment — none may fire.
+//!
+//! Mentioning HashMap, Instant::now, thread_rng, seed_from_u64 and
+//! partial_cmp in doc comments is legal: sort_by(|a, b| a.partial_cmp(b).unwrap())
+
+const PLAIN: &str = "use std::collections::HashMap; Instant::now()";
+const ESCAPED: &str = "quote \" then thread_rng() and SystemTime::now()";
+const RAW: &str = r#"seed_from_u64(42) and "nested" splitmix64(&mut s)"#;
+const RAW_MULTI: &str = r##"
+v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+std::env::var("PATH")
+"##;
+
+/* block comment: std::collections::HashSet::new(), from_entropy(),
+   v.sort_by(|a, b| a.partial_cmp(b).expect("x")) — still a comment,
+   /* nested: UNIX_EPOCH */ and still going */
+
+fn lifetime_soup<'a>(x: &'a str, q: char) -> (&'a str, bool) {
+    // The '"' char literal must not open a string state that would hide
+    // real code from the linter (or swallow the rest of the file).
+    (x, q == '"')
+}
+
+fn actual_code_after_all_of_the_above() -> u64 {
+    7
+}

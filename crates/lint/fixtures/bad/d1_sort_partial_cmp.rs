@@ -1,0 +1,24 @@
+//! D1 must fire: floats sorted through `partial_cmp` comparators, in
+//! every ordering sink and across wrapped lines. (Not compiled — this is
+//! lexer/rule input only.)
+
+fn single_line(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn multi_line(sites: &mut Vec<(f64, u32)>) {
+    sites.sort_by(|a, b| {
+        a.0
+            .partial_cmp(&b.0)
+            .expect("odometer is finite")
+    });
+}
+
+fn min_max(xs: &[f64]) -> Option<&f64> {
+    let _ = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+fn search(xs: &[f64], od: f64) -> Result<usize, usize> {
+    xs.binary_search_by(|s| s.partial_cmp(&od).expect("finite"))
+}

@@ -1,0 +1,18 @@
+//! D2 must fire: hash-ordered std collections in non-test code, both as
+//! imports and as fully-qualified paths.
+
+use std::collections::HashMap;
+
+fn shares(samples: &[(u8, f64)]) -> Vec<(u8, f64)> {
+    let mut acc: HashMap<u8, f64> = HashMap::new();
+    for &(k, v) in samples {
+        *acc.entry(k).or_insert(0.0) += v;
+    }
+    // Iteration order here is the hasher's, not the data's.
+    acc.into_iter().collect()
+}
+
+fn dedup(xs: &[u64]) -> usize {
+    let set: std::collections::HashSet<u64> = xs.iter().copied().collect();
+    set.len()
+}

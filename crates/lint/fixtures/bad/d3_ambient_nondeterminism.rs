@@ -1,0 +1,24 @@
+//! D3 must fire: wall clocks, OS entropy, and environment reads make
+//! output a function of more than (seed, scenario, scale).
+
+use std::time::Instant;
+
+fn timed<F: FnOnce()>(f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}
+
+fn scale_override() -> Option<String> {
+    std::env::var("WHEELS_SCALE").ok()
+}

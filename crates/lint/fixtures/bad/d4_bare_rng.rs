@@ -1,0 +1,17 @@
+//! D4 must fire: RNG construction from ad-hoc seed arithmetic instead of
+//! `netsim::rng` stream derivation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn make_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF)
+}
+
+fn from_bytes(seed: [u8; 32]) -> SmallRng {
+    SmallRng::from_seed(seed)
+}
+
+fn mix(state: &mut u64) -> u64 {
+    rand::splitmix64(state)
+}

@@ -1,0 +1,19 @@
+//! D5 must fire: unwrapping `partial_cmp` panics the worker the first
+//! time a NaN reaches the comparison (outside any ordering sink, so D1
+//! stays silent and the finding is attributed to D5).
+
+use std::cmp::Ordering;
+
+fn is_less(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).unwrap() == Ordering::Less
+}
+
+fn rank(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).expect("samples are finite")
+}
+
+fn chained(a: f64, b: f64, i: u64, j: u64) -> Ordering {
+    a.partial_cmp(&b)
+        .unwrap()
+        .then_with(|| i.cmp(&j))
+}

@@ -1,0 +1,369 @@
+//! A line-oriented Rust lexer that separates code from string/comment
+//! content.
+//!
+//! The rules in [`crate::rules`] are token matchers; to keep them honest
+//! they must never fire on a forbidden token that only appears inside a
+//! string literal, a comment, or a doc comment (`"Instant::now"` in a log
+//! message is not a wall-clock read). The lexer walks the source once
+//! with a small state machine covering line comments, nested block
+//! comments, string literals (with escapes), raw strings (`r#"..."#`
+//! with any hash count), byte/char literals, and lifetimes, and emits per
+//! physical line:
+//!
+//! * `code` — the line with every string/char/comment byte replaced by a
+//!   space (delimiters included), so token scans see only real code;
+//! * `comment` — the concatenated comment text of the line, which is
+//!   where `lint:allow(...)` suppression directives live.
+//!
+//! Positions are preserved: `code` has exactly the same length (in
+//! characters) as the input line, so column arithmetic stays valid.
+
+/// One physical source line, split into its code and comment parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Code content; string/char/comment characters blanked to spaces.
+    pub code: String,
+    /// Comment text (line + block comments), delimiters stripped.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Inside `"..."`.
+    Str,
+    /// Inside `r##"..."##`; the payload is the hash count.
+    RawStr(u32),
+    /// Inside `'...'` (char or byte literal).
+    Char,
+}
+
+/// Strip `src` into per-line code/comment parts.
+pub fn strip(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw in src.split('\n') {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        // A line comment never survives a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        comment.push_str(&raw_tail(&chars, i + 2));
+                        // Blank the rest of the line in the code view.
+                        for _ in i..chars.len() {
+                            code.push(' ');
+                        }
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push(' ');
+                        i += 1;
+                    }
+                    'r' if is_raw_string_start(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        state = State::RawStr(hashes);
+                        // Blank `r` + hashes + opening quote.
+                        let span = 2 + hashes as usize;
+                        for _ in 0..span.min(chars.len() - i) {
+                            code.push(' ');
+                        }
+                        i += span;
+                    }
+                    'b' if next == Some('"') => {
+                        state = State::Str;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    'b' if next == Some('r') && is_raw_string_start(&chars, i + 1) => {
+                        let hashes = count_hashes(&chars, i + 2);
+                        state = State::RawStr(hashes);
+                        let span = 3 + hashes as usize;
+                        for _ in 0..span.min(chars.len() - i) {
+                            code.push(' ');
+                        }
+                        i += span;
+                    }
+                    '\'' => {
+                        // Disambiguate char literal from lifetime: a char
+                        // literal is `'x'` or `'\...'`; a lifetime is `'`
+                        // followed by an identifier with no closing quote.
+                        if next == Some('\\') {
+                            state = State::Char;
+                            code.push(' ');
+                            i += 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            // `'x'` — but `'a'` could also be a lifetime
+                            // followed by a char literal in pathological
+                            // generics; plain `'x'` is by far the common
+                            // case and the safe read for token blanking.
+                            code.push(' ');
+                            code.push(' ');
+                            code.push(' ');
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the tick, it can't form a
+                            // rule token.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => unreachable!("consumed above"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        // Skip the escaped char (possibly the closing
+                        // quote or another backslash).
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        if c == '"' {
+                            state = State::Code;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && has_hashes(&chars, i + 1, hashes) {
+                        state = State::Code;
+                        let span = 1 + hashes as usize;
+                        for _ in 0..span.min(chars.len() - i) {
+                            code.push(' ');
+                        }
+                        i += span;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        if c == '\'' {
+                            state = State::Code;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(Line { code, comment });
+    }
+    out
+}
+
+fn raw_tail(chars: &[char], from: usize) -> String {
+    chars[from.min(chars.len())..].iter().collect()
+}
+
+/// Is `chars[i] == 'r'` the start of a raw string (`r"`, `r#"`, ...)?
+/// Requires `r` not to be part of a longer identifier (e.g. `for`, `var`).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if chars.get(i) != Some(&'r') {
+        return false;
+    }
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn has_hashes(chars: &[char], mut i: usize, n: u32) -> bool {
+    for _ in 0..n {
+        if chars.get(i) != Some(&'#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        strip(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comment_moves_to_comment_part() {
+        let lines = strip("let x = 1; // lint:allow(D2): reason\nlet y = 2;");
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("lint:allow"));
+        assert!(lines[0].comment.contains("lint:allow(D2): reason"));
+        assert_eq!(lines[1].comment, "");
+    }
+
+    #[test]
+    fn string_content_is_blanked() {
+        let c = code_of("let s = \"Instant::now HashMap\"; s.len();");
+        assert!(!c[0].contains("Instant::now"));
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("let s ="));
+        assert!(c[0].contains("s.len();"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let c = code_of(r#"let s = "a\"partial_cmp\"b"; sort_by(x);"#);
+        assert!(!c[0].contains("partial_cmp"));
+        assert!(c[0].contains("sort_by(x);"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let src = "let s = r#\"thread_rng \"quoted\" HashSet\"#; after();";
+        let c = code_of(src);
+        assert!(!c[0].contains("thread_rng"));
+        assert!(!c[0].contains("HashSet"));
+        assert!(c[0].contains("after();"));
+    }
+
+    #[test]
+    fn raw_string_spanning_lines() {
+        let src = "let s = r\"line one HashMap\nline two Instant::now\"; tail();";
+        let c = code_of(src);
+        assert!(!c[0].contains("HashMap"));
+        assert!(!c[1].contains("Instant::now"));
+        assert!(c[1].contains("tail();"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a(); /* outer HashMap /* inner */ still comment */ b();\nc(); /* open\nSystemTime::now\n*/ d();";
+        let c = code_of(src);
+        assert!(c[0].contains("a();") && c[0].contains("b();"));
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[1].contains("c();"));
+        assert!(!c[2].contains("SystemTime"));
+        assert!(c[3].contains("d();"));
+    }
+
+    #[test]
+    fn block_comment_text_is_captured() {
+        let lines = strip("x(); /* lint:allow(D4): keyed */ y();");
+        assert!(lines[0].comment.contains("lint:allow(D4): keyed"));
+        assert!(lines[0].code.contains("y();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code_of("fn f<'a>(x: &'a str) -> &'a str { x } g();");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(c[0].contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let c = code_of("let q = '\"'; let e = '\\''; let n = '\\n'; done();");
+        assert!(c[0].contains("done();"), "char-literal quotes must not open strings: {}", c[0]);
+        assert!(!c[0].contains('"'));
+    }
+
+    #[test]
+    fn code_length_is_preserved() {
+        let src = "let s = \"abc\"; // tail";
+        let lines = strip(src);
+        assert_eq!(lines[0].code.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn multi_line_statement_survives() {
+        // The rule scans join lines; the lexer just has to keep the code.
+        let src = "v.sort_by(|a, b| {\n    a.partial_cmp(b)\n        .unwrap()\n});";
+        let c = code_of(src);
+        assert!(c[0].contains("sort_by"));
+        assert!(c[1].contains("partial_cmp"));
+        assert!(c[2].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn line_comment_inside_string_is_code() {
+        let c = code_of("let url = \"http://x\"; real();");
+        assert!(c[0].contains("real();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let c = code_of("let var = over\"s\"; next();");
+        // `over"s"` — the `r` belongs to `over`, so the string is just "s".
+        assert!(c[0].contains("next();"));
+        assert!(c[0].contains("let var = over"));
+    }
+}

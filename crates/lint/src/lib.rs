@@ -1,0 +1,564 @@
+//! `wheels-lint` — determinism-invariant static analysis for the wheels
+//! workspace.
+//!
+//! Every table and figure this repo reproduces rests on one invariant:
+//! output is a pure function of `(seed, scenario, scale)`, byte-identical
+//! at any `--jobs`/`--fig-jobs` count and under injected faults. The
+//! equivalence gates in `ci.sh` prove that *dynamically*; this crate
+//! enforces it *at the source level*, so a `HashMap` iteration or a
+//! `partial_cmp` sort is caught by review tooling instead of by a
+//! probabilistic CI failure. Rules:
+//!
+//! | rule | guards against |
+//! |------|----------------|
+//! | D1   | float `partial_cmp` as a sort/min/max/binary-search key     |
+//! | D2   | `std::collections::HashMap`/`HashSet` in non-test code      |
+//! | D3   | ambient nondeterminism: wall clocks, OS entropy, env vars   |
+//! | D4   | RNG construction outside `netsim::rng` stream derivation    |
+//! | D5   | `partial_cmp(..).unwrap()/.expect(..)` NaN panics           |
+//!
+//! Suppression is an adjacent `// lint:allow(Dn): <reason>` comment —
+//! same line, or a comment-only line directly above the offending code.
+//! The reason is mandatory: an allow without one does not suppress.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+
+/// The determinism rules. `D1` < `D2` < ... orders report output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Float `partial_cmp` keying an ordering sink.
+    D1,
+    /// Hash-ordered std collections in non-test code.
+    D2,
+    /// Ambient nondeterminism (clocks, entropy, environment).
+    D3,
+    /// RNG construction outside the derivation layer.
+    D4,
+    /// `partial_cmp` unwrap/expect (NaN panic).
+    D5,
+}
+
+impl Rule {
+    /// All rules, report order.
+    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+
+    /// The rule's identifier, as written in `lint:allow(..)`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+        }
+    }
+
+    /// Parse `"D2"` → [`Rule::D2`].
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding, after suppression resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+    /// `Some(reason)` when an allow directive (or the built-in module
+    /// allowlist) suppresses this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// Whether this finding should fail the build.
+    pub fn is_unsuppressed(&self) -> bool {
+        self.suppressed.is_none()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} — {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Modules with a standing exemption from one rule. Paths are
+/// `/`-separated suffixes of the workspace-relative file path.
+///
+/// Kept deliberately tiny: the only ambient-nondeterminism consumer in
+/// the tree is the `--timings` instrumentation in the repro driver
+/// (wall-clock phase timings are *reported*, never fed back into
+/// simulation state), and the only legitimate bare RNG constructors are
+/// the stream-derivation layer itself and scenario compilation.
+pub const BUILTIN_ALLOW: &[(&str, Rule, &str)] = &[
+    (
+        "crates/bench/src/bin/repro.rs",
+        Rule::D3,
+        "--timings instrumentation: wall-clock reads are reported, never \
+         fed into simulation state",
+    ),
+    (
+        "crates/netsim/src/rng.rs",
+        Rule::D4,
+        "the stream-derivation layer itself",
+    ),
+    (
+        "crates/campaign/src/scenario.rs",
+        Rule::D4,
+        "scenario compilation derives the panel seeds",
+    ),
+];
+
+/// Directory names the workspace walker never descends into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", "node_modules"];
+
+/// An allow directive parsed from a comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: Rule,
+    reason: String,
+}
+
+/// Parse every well-formed `lint:allow(Dn): reason` in a comment. A
+/// directive without a (nonempty) reason is ignored — suppressions must
+/// say why.
+fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        rest = &rest[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule_id = rest[..close].trim();
+        let after = &rest[close + 1..];
+        if let Some(rule) = Rule::parse(rule_id) {
+            if let Some(colon) = after.strip_prefix(':') {
+                // The reason runs to the next directive (if any) or EOL.
+                let end = colon.find("lint:allow(").unwrap_or(colon.len());
+                let reason = colon[..end].trim().trim_end_matches('.').to_string();
+                if !reason.is_empty() {
+                    out.push(Allow {
+                        rule,
+                        reason: reason.to_string(),
+                    });
+                }
+            }
+        }
+        rest = after;
+    }
+    out
+}
+
+/// `true` when a path component marks the file as test-only source
+/// (integration tests, benches). `src/foo_tests.rs` is *not* test-only —
+/// only directory names count.
+fn path_is_test(path: &Path) -> bool {
+    path.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("proptests")
+        )
+    })
+}
+
+/// Mark the lines belonging to `#[cfg(test)] mod ... { ... }` regions.
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(code.len());
+    let mut depth: i32 = 0;
+    // Armed after `#[cfg(test)]`, waiting for the `mod`'s opening brace.
+    let mut armed = false;
+    let mut region_close: Option<i32> = None;
+    for line in code {
+        let test_at_start = region_close.is_some();
+        let trimmed = line.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let line_has_mod = {
+            // A standalone `mod` token (not `model`, not a path segment).
+            line.match_indices("mod").any(|(p, _)| {
+                let before_ok = p == 0
+                    || !line[..p]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':');
+                let after = &line[p + 3..];
+                let after_ok = after.chars().next().is_none_or(|c| c.is_whitespace());
+                before_ok && after_ok
+            })
+        };
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if armed && line_has_mod && region_close.is_none() {
+                        region_close = Some(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `#[cfg(test)]` guarding a single non-mod item (a `use`, a fn):
+        // disarm once a code-bearing, non-attribute, non-mod line passes.
+        if armed && !trimmed.is_empty() && !trimmed.starts_with("#[") && !line_has_mod {
+            armed = false;
+            // ... but that guarded line itself is test-only.
+            out.push(true);
+            continue;
+        }
+        out.push(test_at_start || region_close.is_some());
+    }
+    out
+}
+
+/// Lint one file's source text. `path` decides test-only status and the
+/// built-in allowlist; it is stored verbatim in the findings.
+pub fn lint_source(path: &Path, src: &str) -> Vec<Finding> {
+    let lines = lexer::strip(src);
+    let code: Vec<String> = lines.iter().map(|l| l.code.clone()).collect();
+    let is_test = if path_is_test(path) {
+        vec![true; code.len()]
+    } else {
+        test_regions(&code)
+    };
+
+    // Attach allow directives: same line when it carries code, otherwise
+    // the next code-bearing line (comment-block-above style).
+    let mut allows: Vec<Vec<Allow>> = vec![Vec::new(); code.len().max(1)];
+    for (i, line) in lines.iter().enumerate() {
+        let parsed = parse_allows(&line.comment);
+        if parsed.is_empty() {
+            continue;
+        }
+        let target = if !code[i].trim().is_empty() {
+            Some(i)
+        } else {
+            (i + 1..code.len()).find(|&j| !code[j].trim().is_empty())
+        };
+        if let Some(t) = target {
+            allows[t].extend(parsed);
+        }
+    }
+
+    let norm: String = path.to_string_lossy().replace('\\', "/");
+    let builtin: Vec<(Rule, &str)> = BUILTIN_ALLOW
+        .iter()
+        .filter(|(suffix, _, _)| norm.ends_with(suffix))
+        .map(|&(_, rule, why)| (rule, why))
+        .collect();
+
+    let raw = rules::run(&rules::FileContext {
+        code: &code,
+        is_test: &is_test,
+    });
+    raw.into_iter()
+        .map(|f| {
+            let idx = f.line - 1;
+            let suppressed = allows
+                .get(idx)
+                .and_then(|a| a.iter().find(|a| a.rule == f.rule))
+                .map(|a| a.reason.clone())
+                .or_else(|| {
+                    builtin
+                        .iter()
+                        .find(|(r, _)| *r == f.rule)
+                        .map(|(_, why)| format!("builtin allowlist: {why}"))
+                });
+            Finding {
+                file: path.to_path_buf(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+                suppressed,
+            }
+        })
+        .collect()
+}
+
+/// Recursively collect `.rs` files under `root` in sorted order,
+/// skipping build output, vendored deps, and lint fixtures.
+pub fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `paths`. Returns `(findings, files)`.
+pub fn lint_paths(paths: &[PathBuf]) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    for p in paths {
+        collect_rs_files(p, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        findings.extend(lint_source(f, &src));
+    }
+    Ok((findings, files.len()))
+}
+
+/// JSON-escape a string (no external deps on purpose).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a machine-readable JSON array (stable field order).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"suppressed\": {}}}{}\n",
+            json_escape(&f.file.to_string_lossy().replace('\\', "/")),
+            f.line,
+            f.rule,
+            json_escape(&f.message),
+            f.suppressed
+                .as_ref()
+                .map_or("null".to_string(), |r| format!("\"{}\"", json_escape(r))),
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Expected outcome of linting one fixture file, derived from its name:
+/// `bad/d2_whatever.rs` must produce ≥1 unsuppressed finding, all D2;
+/// anything under `allowed/` must produce none.
+#[derive(Debug)]
+pub struct FixtureResult {
+    /// The fixture file.
+    pub file: PathBuf,
+    /// What went wrong; `None` means the fixture behaved as expected.
+    pub error: Option<String>,
+}
+
+/// Run the self-check over a fixture corpus directory containing `bad/`
+/// and `allowed/` subdirectories.
+pub fn check_fixtures(dir: &Path) -> std::io::Result<Vec<FixtureResult>> {
+    let mut results = Vec::new();
+    for (sub, want_findings) in [("bad", true), ("allowed", false)] {
+        let mut files = Vec::new();
+        collect_rs_files_unfiltered(&dir.join(sub), &mut files)?;
+        files.sort();
+        for f in files {
+            let src = std::fs::read_to_string(&f)?;
+            let findings = lint_source(&f, &src);
+            let unsuppressed: Vec<&Finding> =
+                findings.iter().filter(|f| f.is_unsuppressed()).collect();
+            let error = if want_findings {
+                let stem = f.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                let expect = stem
+                    .split('_')
+                    .next()
+                    .and_then(|p| Rule::parse(&p.to_uppercase()));
+                match expect {
+                    None => Some(format!("bad fixture `{stem}` has no dN_ rule prefix")),
+                    Some(rule) => {
+                        if unsuppressed.is_empty() {
+                            Some(format!("expected {rule} to fire, got no findings"))
+                        } else if let Some(wrong) =
+                            unsuppressed.iter().find(|f| f.rule != rule)
+                        {
+                            Some(format!(
+                                "expected only {rule}, got {} at line {}",
+                                wrong.rule, wrong.line
+                            ))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            } else if let Some(first) = unsuppressed.first() {
+                Some(format!(
+                    "expected clean, got {} at line {}: {}",
+                    first.rule, first.line, first.message
+                ))
+            } else {
+                None
+            };
+            results.push(FixtureResult { file: f, error });
+        }
+    }
+    Ok(results)
+}
+
+/// Like [`collect_rs_files`] but without the `fixtures` skip (used to
+/// read the fixture corpus itself).
+fn collect_rs_files_unfiltered(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(root)? {
+        let p = entry?.path();
+        if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let f = lint_source(
+            Path::new("x.rs"),
+            "use std::collections::HashMap; // lint:allow(D2): lookup only\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].suppressed.as_deref(), Some("lookup only"));
+    }
+
+    #[test]
+    fn comment_above_allow_suppresses() {
+        let src = "// lint:allow(D4): seed derived upstream\nlet r = SmallRng::seed_from_u64(s);\n";
+        let f = lint_source(Path::new("x.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.is_some());
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let f = lint_source(
+            Path::new("x.rs"),
+            "let t = Instant::now(); // lint:allow(D3)\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].is_unsuppressed(), "reason-less allow must not count");
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let f = lint_source(
+            Path::new("x.rs"),
+            "let t = Instant::now(); // lint:allow(D2): wrong rule\n",
+        );
+        assert!(f[0].is_unsuppressed());
+    }
+
+    #[test]
+    fn builtin_allowlist_suppresses_by_suffix() {
+        let f = lint_source(
+            Path::new("crates/bench/src/bin/repro.rs"),
+            "let t0 = Instant::now();\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed.as_deref().unwrap().starts_with("builtin"));
+    }
+
+    #[test]
+    fn builtin_allowlist_is_per_rule() {
+        // repro.rs is allowlisted for D3, not for D2.
+        let f = lint_source(
+            Path::new("crates/bench/src/bin/repro.rs"),
+            "use std::collections::HashMap;\n",
+        );
+        assert!(f[0].is_unsuppressed());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_d2() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    #[test]\n    fn t() { let _ = HashSet::<u8>::new(); }\n}\n";
+        let f = lint_source(Path::new("src/x.rs"), src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn code_after_cfg_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\nuse std::collections::HashMap;\n";
+        let f = lint_source(Path::new("src/x.rs"), src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn tests_dir_files_are_test_only() {
+        let f = lint_source(
+            Path::new("crates/geo/tests/proptests.rs"),
+            "use std::collections::HashSet;\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d1_still_applies_in_test_files() {
+        let f = lint_source(
+            Path::new("tests/x.rs"),
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::D1);
+    }
+
+    #[test]
+    fn json_output_is_wellformed_enough() {
+        let f = lint_source(Path::new("x.rs"), "let t = Instant::now();\n");
+        let j = to_json(&f);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"rule\": \"D3\""));
+        assert!(j.contains("\"suppressed\": null"));
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI driver for `wheels-lint`.
+//!
+//! ```text
+//! cargo run -p wheels-lint --offline -- crates/ src/ examples/ tests/
+//! cargo run -p wheels-lint --offline -- --json crates/
+//! cargo run -p wheels-lint --offline -- --fixtures
+//! ```
+//!
+//! Exit status: 0 = no unsuppressed findings (or all fixtures behave),
+//! 1 = findings (or fixture mismatch), 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wheels_lint::{check_fixtures, lint_paths, to_json, Finding};
+
+const USAGE: &str = "usage: wheels-lint [--json] [--fixtures] [PATH ...]\n\
+  PATH        files or directories to lint (default: crates/ src/ examples/ tests/)\n\
+  --json      emit findings (including suppressed ones) as JSON\n\
+  --fixtures  self-check: every fixtures/bad file must fire its rule,\n\
+              every fixtures/allowed file must lint clean";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fixtures = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("wheels-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    if fixtures {
+        return run_fixture_check();
+    }
+
+    if paths.is_empty() {
+        paths = ["crates", "src", "examples", "tests"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.exists())
+            .collect();
+    }
+
+    let (findings, files) = match lint_paths(&paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wheels-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let unsuppressed: Vec<&Finding> = findings.iter().filter(|f| f.is_unsuppressed()).collect();
+    let suppressed = findings.len() - unsuppressed.len();
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &unsuppressed {
+            println!("{f}");
+        }
+        eprintln!(
+            "wheels-lint: {files} files scanned, {} unsuppressed finding{} ({suppressed} suppressed)",
+            unsuppressed.len(),
+            if unsuppressed.len() == 1 { "" } else { "s" },
+        );
+    }
+
+    if unsuppressed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_fixture_check() -> ExitCode {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let results = match check_fixtures(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wheels-lint: fixtures: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = 0usize;
+    for r in &results {
+        match &r.error {
+            None => println!("ok   {}", r.file.display()),
+            Some(e) => {
+                failed += 1;
+                println!("FAIL {}: {e}", r.file.display());
+            }
+        }
+    }
+    eprintln!(
+        "wheels-lint: {} fixtures checked, {failed} failed",
+        results.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

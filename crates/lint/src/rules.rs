@@ -1,0 +1,375 @@
+//! The determinism rule set, D1–D5.
+//!
+//! Rules are token matchers over lexed code (see [`crate::lexer`]): no
+//! type inference, no name resolution beyond `use`-import tracking. The
+//! matchers are deliberately *stricter* than the semantic property they
+//! guard — e.g. D2 flags any `std::collections::HashMap` import, not
+//! just iterated maps — because the escape hatch is cheap (an adjacent
+//! `// lint:allow(Dn): <reason>` forces the author to write down *why*
+//! the use is order-insensitive) while a missed re-entry of hash-order
+//! or NaN nondeterminism costs a probabilistic CI failure months later.
+
+use crate::Rule;
+
+/// A rule match before suppression is applied.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-line context the engine hands to the matchers.
+pub struct FileContext<'a> {
+    /// Stripped code, one entry per physical line.
+    pub code: &'a [String],
+    /// True for lines inside `#[cfg(test)]` modules (or test-only files).
+    pub is_test: &'a [bool],
+}
+
+/// `true` if `hay[pos..]` starts a standalone token `tok` (not part of a
+/// longer identifier on either side).
+fn token_at(hay: &str, pos: usize, tok: &str) -> bool {
+    if !hay[pos..].starts_with(tok) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || !hay[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = pos + tok.len();
+    let after_ok = !hay[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// All standalone-token occurrences of `tok` in `hay`.
+fn token_positions(hay: &str, tok: &str) -> Vec<usize> {
+    hay.match_indices(tok)
+        .filter(|&(p, _)| token_at(hay, p, tok))
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn has_token(hay: &str, tok: &str) -> bool {
+    !token_positions(hay, tok).is_empty()
+}
+
+/// Comparator-taking methods whose key function must be total (D1).
+const ORDER_SINKS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+    "select_nth_unstable_by",
+];
+
+/// How far back (in stripped chars) a comparator closure may plausibly
+/// start before the `partial_cmp` token. Closures here are small; 240
+/// chars covers several wrapped lines without reaching the previous
+/// statement in practice (and the paren-balance check below rejects
+/// already-closed calls regardless of distance).
+const D1_WINDOW: usize = 240;
+
+/// Run every rule over one lexed file. `joined` is the stripped code
+/// joined with `\n` (used for multi-line statement scans); `line_starts`
+/// maps each line to its byte offset in `joined`.
+pub fn run(ctx: &FileContext<'_>) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    let joined: String = ctx.code.join("\n");
+    let line_of = |byte: usize| -> usize { joined[..byte].matches('\n').count() + 1 };
+
+    // --- D1 / D5: partial_cmp hazards (apply everywhere, tests too:
+    // a NaN panic in a test is a probabilistic CI failure). ------------
+    for pos in token_positions(&joined, "partial_cmp") {
+        // Skip trait definitions/impl headers: `fn partial_cmp(...)`.
+        let before = joined[..pos].trim_end();
+        if before.ends_with("fn") {
+            continue;
+        }
+        let in_sink = {
+            let start = pos.saturating_sub(D1_WINDOW);
+            // The window may split a UTF-8 char; widen to a boundary.
+            let start = (0..=start).rev().find(|&i| joined.is_char_boundary(i)).unwrap_or(0);
+            let window = &joined[start..pos];
+            ORDER_SINKS.iter().any(|sink| {
+                token_positions(window, sink).into_iter().any(|p| {
+                    // Inside the sink's argument list? Count parens from
+                    // the sink's opening paren to the window end; if the
+                    // call is still open, the partial_cmp is its key fn.
+                    let mut depth = 0i32;
+                    let mut seen_open = false;
+                    for c in window[p + sink.len()..].chars() {
+                        match c {
+                            '(' => {
+                                depth += 1;
+                                seen_open = true;
+                            }
+                            ')' => depth -= 1,
+                            _ => {}
+                        }
+                        if seen_open && depth == 0 {
+                            return false;
+                        }
+                    }
+                    seen_open && depth > 0
+                })
+            })
+        };
+        if in_sink {
+            findings.push(RawFinding {
+                line: line_of(pos),
+                rule: Rule::D1,
+                message: "comparator built on `partial_cmp` — NaN makes the order \
+                          non-total; key floats with `f64::total_cmp` instead"
+                    .into(),
+            });
+            continue; // D1 subsumes D5 on the same expression.
+        }
+        // D5: `partial_cmp(...).unwrap()` / `.expect(...)` chains.
+        if let Some(rest) = chain_after_call(&joined, pos + "partial_cmp".len()) {
+            let rest = rest.trim_start();
+            // `.unwrap(`/`.expect(` exactly: `.unwrap_or(..)` is NaN-safe.
+            if rest.starts_with(".unwrap(") || rest.starts_with(".expect(") {
+                findings.push(RawFinding {
+                    line: line_of(pos),
+                    rule: Rule::D5,
+                    message: "`partial_cmp(..).unwrap()/.expect(..)` panics on NaN; \
+                              use `f64::total_cmp` or handle the `None`"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    // --- Line-scoped rules D2/D3/D4 (non-test code only). -------------
+    for (idx, code) in ctx.code.iter().enumerate() {
+        let line = idx + 1;
+        if ctx.is_test[idx] {
+            continue;
+        }
+
+        // D2: std HashMap/HashSet anywhere in non-test code. The import
+        // (or a fully-qualified path) is the single anchor per line; an
+        // allow there covers the file's uses of that import.
+        if code.contains("std::collections::") || code.contains("std :: collections") {
+            for name in ["HashMap", "HashSet", "hash_map", "hash_set"] {
+                if has_token(code, name) {
+                    findings.push(RawFinding {
+                        line,
+                        rule: Rule::D2,
+                        message: format!(
+                            "`{name}` has nondeterministic iteration order; use \
+                             `BTreeMap`/`BTreeSet` (or sort before iterating and \
+                             justify with an allow)"
+                        ),
+                    });
+                    break; // one D2 anchor per line
+                }
+            }
+        }
+
+        // D3: ambient nondeterminism — wall clocks, entropy, env vars.
+        let d3: Option<&str> = if code.contains("Instant::now") {
+            Some("`Instant::now` reads the wall clock")
+        } else if has_token(code, "SystemTime") {
+            Some("`SystemTime` reads the wall clock")
+        } else if has_token(code, "UNIX_EPOCH") {
+            Some("`UNIX_EPOCH` arithmetic reads the wall clock")
+        } else if has_token(code, "thread_rng") {
+            Some("`thread_rng` draws OS entropy")
+        } else if has_token(code, "from_entropy") {
+            Some("`from_entropy` draws OS entropy")
+        } else if code.contains("env::var") {
+            Some("environment reads vary between hosts/invocations")
+        } else if code.contains("use std::time::") && has_token(code, "Instant") {
+            Some("importing `std::time::Instant` invites wall-clock reads")
+        } else {
+            None
+        };
+        if let Some(why) = d3 {
+            findings.push(RawFinding {
+                line,
+                rule: Rule::D3,
+                message: format!(
+                    "{why}; simulation state must be a pure function of \
+                     (seed, scenario, scale)"
+                ),
+            });
+        }
+
+        // D4: bare RNG construction outside the derivation layer.
+        for tok in ["seed_from_u64", "from_seed", "splitmix64"] {
+            if has_token(code, tok) {
+                findings.push(RawFinding {
+                    line,
+                    rule: Rule::D4,
+                    message: format!(
+                        "bare `{tok}` RNG construction; derive streams through \
+                         `netsim::rng::{{derive_seed, stream}}` so every unit's \
+                         randomness is keyed on (seed, domain, unit)"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule as u8));
+    findings
+}
+
+/// If `joined[open..]` starts (after whitespace) with `(`, return the
+/// text after its matching close paren.
+fn chain_after_call(joined: &str, open: usize) -> Option<&str> {
+    let rest = joined[open..].trim_start();
+    if !rest.starts_with('(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[i + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn lint(src: &str) -> Vec<RawFinding> {
+        let lines = lexer::strip(src);
+        let code: Vec<String> = lines.iter().map(|l| l.code.clone()).collect();
+        let is_test = vec![false; code.len()];
+        run(&FileContext {
+            code: &code,
+            is_test: &is_test,
+        })
+    }
+
+    #[test]
+    fn d1_fires_inside_sort_comparator() {
+        let f = lint("v.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::D1);
+    }
+
+    #[test]
+    fn d1_fires_across_lines() {
+        let f = lint("sites.sort_by(|a, b| {\n    a.od\n        .partial_cmp(&b.od)\n        .expect(\"finite\")\n});");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::D1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn d1_not_fooled_by_closed_earlier_sort() {
+        // The sort call is already closed; this partial_cmp is a plain
+        // D5 chain, not a comparator.
+        let f = lint("v.sort_by_key(|x| x.0);\nlet c = a.partial_cmp(&b).unwrap();");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::D5);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn d5_fires_on_bare_unwrap_chain() {
+        let f = lint("if a.partial_cmp(&b).unwrap() == Ordering::Less {}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::D5);
+    }
+
+    #[test]
+    fn trait_impl_definition_is_exempt() {
+        let f = lint("fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n    Some(self.cmp(other))\n}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_nan_safe() {
+        let f = lint("let o = a.partial_cmp(&b).unwrap_or(Ordering::Equal);");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn safe_partial_cmp_handling_is_clean() {
+        let f = lint("match a.partial_cmp(&b) { Some(o) => o, None => Ordering::Equal }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d2_fires_on_import_and_qualified_path() {
+        let f = lint("use std::collections::HashMap;\nlet s = std::collections::HashSet::new();");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::D2));
+    }
+
+    #[test]
+    fn d2_ignores_btree_imports() {
+        let f = lint("use std::collections::{BTreeMap, BTreeSet, VecDeque};");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d3_fires_on_clock_entropy_env() {
+        let f = lint("let t = Instant::now();\nlet s = SystemTime::now();\nlet r = thread_rng();\nlet v = std::env::var(\"X\");");
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::D3));
+    }
+
+    #[test]
+    fn d3_ignores_env_args_and_duration() {
+        let f = lint("let a: Vec<String> = std::env::args().collect();\nuse std::time::Duration;");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d4_fires_on_bare_seeding() {
+        let f = lint("let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::D4);
+    }
+
+    #[test]
+    fn d4_token_is_word_bounded() {
+        let f = lint("let x = my_seed_from_u64_table[0];");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let f = lint("// Instant::now and HashMap discussion\nlet s = \"thread_rng seed_from_u64 std::collections::HashMap\";");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_lines_are_exempt_from_d2_d3_d4_but_not_d1() {
+        let src = "use std::collections::HashMap;\nlet t = Instant::now();\nv.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        let lines = lexer::strip(src);
+        let code: Vec<String> = lines.iter().map(|l| l.code.clone()).collect();
+        let is_test = vec![true; code.len()];
+        let f = run(&FileContext {
+            code: &code,
+            is_test: &is_test,
+        });
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::D1);
+    }
+}

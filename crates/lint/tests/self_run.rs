@@ -1,0 +1,55 @@
+//! Workspace self-run: the whole repo must lint clean. This is the same
+//! gate `ci.sh` runs via `cargo run -p wheels-lint`; having it inside
+//! `cargo test` means a re-entering `partial_cmp` sort or `HashMap`
+//! iteration fails the ordinary test suite too, with the offending
+//! file:line in the assertion message.
+
+use std::path::PathBuf;
+
+use wheels_lint::lint_paths;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let root = workspace_root();
+    let paths: Vec<PathBuf> = ["crates", "src", "examples", "tests"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|p| p.exists())
+        .collect();
+    assert!(!paths.is_empty(), "workspace dirs missing under {root:?}");
+    let (findings, files) = lint_paths(&paths).expect("workspace readable");
+    assert!(files > 50, "walker only saw {files} files — wrong root?");
+    let bad: Vec<String> = findings
+        .iter()
+        .filter(|f| f.is_unsuppressed())
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "determinism lint violations:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn workspace_suppressions_all_carry_reasons() {
+    // Every suppressed finding must have a nonempty reason (the parser
+    // enforces this; the test documents the invariant over real data).
+    let root = workspace_root();
+    let (findings, _) = lint_paths(&[root.join("crates")]).expect("readable");
+    for f in findings.iter().filter(|f| !f.is_unsuppressed()) {
+        assert!(
+            !f.suppressed.as_deref().unwrap_or("").is_empty(),
+            "empty suppression reason at {f}"
+        );
+    }
+}

@@ -34,11 +34,12 @@ impl<T> PartialOrd for Entry<T> {
 }
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
+        // BinaryHeap is a max-heap; invert for earliest-first. total_cmp
+        // keeps the heap order total even if a NaN time ever slips in
+        // (the old `.expect` panicked the worker instead).
         other
             .time_s
-            .partial_cmp(&self.time_s)
-            .expect("event times are finite")
+            .total_cmp(&self.time_s)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -176,6 +176,8 @@ impl FaultPlan {
         if self.profile == FaultProfile::None {
             return None;
         }
+        // lint:allow(D4): attempt_seed IS the netsim::rng absorb chain
+        // (DOMAIN_FAULT); this just positions a reader on that stream
         let mut r = SmallRng::seed_from_u64(self.attempt_seed(unit_words, attempt));
         let roll = r.gen::<f64>();
         let [p_crash, p_outage, p_detach, p_timeout] = self.profile.rates();

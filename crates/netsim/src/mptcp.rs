@@ -110,7 +110,7 @@ impl MultipathFlow {
                     .rate_est
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("rates are finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 // Switch only on a clear (20 %) advantage to avoid flapping.

@@ -155,7 +155,7 @@ mod tests {
                 )
             })
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let med = v[v.len() / 2];
         assert!((10.0..32.0).contains(&med), "median {med}");
     }

@@ -32,6 +32,8 @@ impl ShadowingField {
         ShadowingField {
             sigma_db,
             corr_dist_m,
+            // lint:allow(D4): field seed is (UE seed ^ cell id) with the
+            // UE seed netsim::rng-derived; the multiplier only decorrelates
             rng: SmallRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407)),
             last_d_m: 0.0,
             last_value_db: 0.0,

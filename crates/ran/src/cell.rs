@@ -61,11 +61,7 @@ impl CellDb {
             sites.iter().all(|s| s.op == op),
             "site list contains foreign operator"
         );
-        sites.sort_by(|a, b| {
-            a.odometer_m
-                .partial_cmp(&b.odometer_m)
-                .expect("odometer is finite")
-        });
+        sites.sort_by(|a, b| a.odometer_m.total_cmp(&b.odometer_m));
         let mut layers: [Vec<CellSite>; 5] = Default::default();
         for s in sites {
             let li = tech_index(s.tech);

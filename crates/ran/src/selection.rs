@@ -5,6 +5,9 @@
 //! the UE's current position, how strong is it, and how strong is the
 //! runner-up (which doubles as the dominant interferer for SINR)?
 
+// lint:allow(D2): per-cell shadowing store — entry lookups keyed by
+// CellId, values derived from (seed, cell) alone, and the prune's
+// retain() predicate is per-entry, so traversal order cannot leak
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
@@ -200,6 +203,8 @@ pub fn sinr_db(cand: &LayerCandidate, tech: Technology, noise_eff_dbm: f64, rng:
 
 /// Deterministic helper to build a per-purpose RNG from a UE seed.
 pub fn sub_rng(seed: u64, salt: u64) -> SmallRng {
+    // lint:allow(D4): the UE seed is netsim::rng-derived upstream; this
+    // helper only splits per-purpose sub-streams off it
     SmallRng::seed_from_u64(seed ^ salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
 }
 

@@ -8,7 +8,7 @@
 //! cargo run --release --example operator_diversity
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wheels::analysis::figures::fig06_operator_diversity::{self, PAIRS};
 use wheels::analysis::AnalysisIndex;
@@ -48,7 +48,8 @@ fn main() {
     }
 
     // The multi-connectivity thought experiment: best-of-three throughput.
-    let mut by_time: HashMap<i64, Vec<(Operator, f64)>> = HashMap::new();
+    // BTreeMap, not HashMap: gain_vs sums floats in iteration order.
+    let mut by_time: BTreeMap<i64, Vec<(Operator, f64)>> = BTreeMap::new();
     for r in db
         .records
         .iter()
@@ -58,7 +59,7 @@ fn main() {
             by_time.entry(r.start_s.round() as i64).or_default().push((r.op, m));
         }
     }
-    let mut gain_vs: HashMap<Operator, (f64, usize)> = HashMap::new();
+    let mut gain_vs: BTreeMap<Operator, (f64, usize)> = BTreeMap::new();
     for tests in by_time.values().filter(|v| v.len() == 3) {
         let best = tests.iter().map(|(_, m)| *m).fold(0.0, f64::max);
         for (op, m) in tests {
