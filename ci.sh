@@ -76,4 +76,21 @@ cmp "$tmp/report-f1.txt" "$tmp/report-f4.txt"
 echo "report timings:"
 cat BENCH_report.json
 
+echo "== campaign hot-path timing + jobs byte gate (quarter scale) =="
+# The campaign phase is the standing optimization target: record its wall
+# time and KPI-sample throughput (BENCH_campaign.json, tracked alongside
+# BENCH_report.json), and prove the worker fan-out is still byte-pure —
+# the export, integrity report, and table must not differ by one byte
+# between jobs 1 and jobs 4.
+./target/release/repro --scale quarter --seed 11 --jobs 1 \
+  --export "$tmp/q-j1.json" --timings-json BENCH_campaign.json table1 \
+  > "$tmp/q-j1.txt" 2> /dev/null
+./target/release/repro --scale quarter --seed 11 --jobs 4 \
+  --export "$tmp/q-j4.json" table1 > "$tmp/q-j4.txt" 2> /dev/null
+cmp "$tmp/q-j1.json" "$tmp/q-j4.json"
+cmp "$tmp/q-j1.json.integrity.json" "$tmp/q-j4.json.integrity.json"
+cmp "$tmp/q-j1.txt" "$tmp/q-j4.txt"
+echo "campaign timings:"
+cat BENCH_campaign.json
+
 echo "CI OK"

@@ -284,11 +284,12 @@ fn main() {
     let db = outcome.db;
     let integrity = outcome.integrity;
     let campaign_elapsed = t0.elapsed();
+    let kpi_samples = db.records.iter().map(|r| r.kpi.len()).sum::<usize>();
     eprintln!(
         "campaign done in {:.1?}: {} test records, {} KPI samples",
         campaign_elapsed,
         db.records.len(),
-        db.records.iter().map(|r| r.kpi.len()).sum::<usize>()
+        kpi_samples
     );
     eprintln!("{}", integrity.summary());
 
@@ -354,9 +355,10 @@ fn main() {
     }
     if let Some(path) = timings_json {
         let json = format!(
-            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6}\n}}\n",
+            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"kpi_samples\": {kpi_samples},\n  \"samples_per_s\": {:.1},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6}\n}}\n",
             wanted.len(),
             campaign_elapsed.as_secs_f64(),
+            kpi_samples as f64 / campaign_elapsed.as_secs_f64(),
             index_elapsed.as_secs_f64(),
             figures_elapsed.as_secs_f64(),
             export_elapsed.as_secs_f64(),

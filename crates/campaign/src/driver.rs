@@ -7,7 +7,8 @@
 //! test's XCAL record.
 
 use wheels_apps::{AppLink, LinkObs};
-use wheels_geo::trip::DrivePlan;
+use wheels_geo::timezone::Timezone;
+use wheels_geo::trip::{DrivePlan, DriveState};
 use wheels_netsim::rtt::{radio_rtt_ms, RttModel};
 use wheels_netsim::server::Server;
 use wheels_ran::handover::HandoverEvent;
@@ -21,8 +22,11 @@ pub struct LinkDriver<'a> {
     plan: &'a DrivePlan,
     demand: TrafficDemand,
     tick_s: f64,
-    /// Fixed position override for static tests: (odometer_m).
-    static_od: Option<f64>,
+    /// Precomputed vehicle state for static tests: the UE only reads the
+    /// position-derived fields (odometer / region / speed / timezone), all
+    /// constant at a fixed site, so one template replaces a `state_at`
+    /// interpolation per cadence step.
+    static_state: Option<DriveState>,
     last: Option<LinkSnapshot>,
     next_step_t: f64,
     /// All snapshots taken during the test.
@@ -44,7 +48,7 @@ impl<'a> LinkDriver<'a> {
             plan,
             demand,
             tick_s,
-            static_od: None,
+            static_state: None,
             last: None,
             next_step_t: f64::NEG_INFINITY,
             snapshots: Vec::new(),
@@ -60,26 +64,46 @@ impl<'a> LinkDriver<'a> {
         tick_s: f64,
         odometer_m: f64,
     ) -> Self {
+        let pt = plan.route().point_at(odometer_m);
+        let template = DriveState {
+            time_s: 0.0,
+            odometer_m,
+            speed_mps: 0.0,
+            pos: pt.pos,
+            bearing_deg: pt.bearing_deg,
+            region: plan.route().region_at(odometer_m),
+            timezone: Timezone::from_longitude(pt.pos.lon),
+            day: 0,
+            driving: false,
+        };
         LinkDriver {
-            static_od: Some(odometer_m),
+            static_state: Some(template),
             ..Self::driving(ue, plan, demand, tick_s)
         }
+    }
+
+    /// Adopt a recycled snapshot buffer (cleared first) as this driver's
+    /// backing storage. Campaign units run hundreds of tests back to
+    /// back; threading one scratch buffer through them replaces a
+    /// grow-from-empty `Vec` per test with a single long-lived
+    /// allocation.
+    pub fn reusing(mut self, mut scratch: Vec<LinkSnapshot>) -> Self {
+        scratch.clear();
+        self.snapshots = scratch;
+        self
     }
 
     /// The snapshot in effect at absolute time `t_s`, advancing the UE if
     /// the cadence interval has elapsed.
     pub fn at(&mut self, t_s: f64) -> LinkSnapshot {
         if self.last.is_none() || t_s >= self.next_step_t {
-            let mut state = self.plan.state_at(t_s);
-            if let Some(od) = self.static_od {
-                state.odometer_m = od;
-                state.speed_mps = 0.0;
-                state.driving = false;
-                let pt = self.plan.route().point_at(od);
-                state.pos = pt.pos;
-                state.region = self.plan.route().region_at(od);
-                state.timezone = self.plan.route().timezone_at(od);
-            }
+            let state = match self.static_state {
+                Some(mut tpl) => {
+                    tpl.time_s = t_s;
+                    tpl
+                }
+                None => self.plan.state_at(t_s),
+            };
             let snap = self.ue.step(t_s, &state, self.demand);
             if let Some(ev) = snap.handover {
                 self.handovers.push(ev);
@@ -128,11 +152,9 @@ pub struct AppLinkAdapter<'a, 'b> {
 impl AppLink for AppLinkAdapter<'_, '_> {
     fn sample(&mut self, t_s: f64) -> LinkObs {
         let snap = self.driver.at(t_s);
-        let state = self.driver.plan.state_at(t_s);
-        let pos = if let Some(od) = self.driver.static_od {
-            self.driver.plan.route().point_at(od).pos
-        } else {
-            state.pos
+        let pos = match &self.driver.static_state {
+            Some(tpl) => tpl.pos,
+            None => self.driver.plan.pos_at(t_s),
         };
         let rtt_ms = self.rtt.sample_ms(
             t_s,

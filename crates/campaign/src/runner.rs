@@ -41,6 +41,9 @@ struct Phone {
     op: Operator,
     ue: UeRadio,
     rtt: RttModel,
+    /// Recycled snapshot storage, threaded through every test this phone
+    /// runs (each [`LinkDriver`] adopts it; `finish` hands it back).
+    snap_scratch: Vec<LinkSnapshot>,
 }
 
 impl Phone {
@@ -51,6 +54,7 @@ impl Phone {
             // lint:allow(D4): `seed` is the unit's netsim::rng-derived
             // phone-stream seed; the salt splits off the RTT sub-stream
             rtt: RttModel::new(SmallRng::seed_from_u64(seed ^ 0x5EED_0FF1)),
+            snap_scratch: Vec::new(),
         }
     }
 }
@@ -307,7 +311,10 @@ impl Campaign {
     /// and the unit key. Fault injection and panic handling sit above
     /// this, in [`Campaign::run_unit`](crate::executor) — the payload
     /// itself never knows whether the world is hostile.
-    pub(crate) fn run_unit_payload(&self, unit: &WorkUnit) -> Shard {
+    ///
+    /// Public so benchmarks and diagnostics can run one unit in isolation;
+    /// campaign execution goes through the supervised path.
+    pub fn run_unit_payload(&self, unit: &WorkUnit) -> Shard {
         match *unit {
             WorkUnit::Drive { op, day } => self.run_drive_day(op, day),
             WorkUnit::Static { op, site_od } => self.run_static_site(op, site_od),
@@ -409,13 +416,15 @@ impl Campaign {
     }
 
     fn server_for(&self, op: Operator, t0: f64, static_od: Option<f64>) -> Server {
-        let state = self.plan.state_at(t0);
         let (pos, tz) = match static_od {
             Some(od) => (
                 self.plan.route().point_at(od).pos,
                 self.plan.route().timezone_at(od),
             ),
-            None => (state.pos, state.timezone),
+            None => {
+                let state = self.plan.state_at(t0);
+                (state.pos, state.timezone)
+            }
         };
         self.selector.select_for(self.has_edge(op), pos, tz)
     }
@@ -430,20 +439,23 @@ impl Campaign {
     ) -> TestRecord {
         let server = self.server_for(phone.op, t0, static_od);
         let demand = TrafficDemand::Backlog(dir);
+        let scratch = std::mem::take(&mut phone.snap_scratch);
         let mut driver = match static_od {
             Some(od) => LinkDriver::static_at(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s, od),
             None => LinkDriver::driving(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s),
-        };
+        }
+        .reusing(scratch);
         let plan = &self.plan;
+        let static_pos = static_od.map(|od| plan.route().point_at(od).pos);
         let test = BulkTransferTest {
             duration_s: self.sched.tput_s,
             ..Default::default()
         };
         let samples = test.run(t0, |t| {
             let s = driver.at(t);
-            let pos = match static_od {
-                Some(od) => plan.route().point_at(od).pos,
-                None => plan.state_at(t).pos,
+            let pos = match static_pos {
+                Some(p) => p,
+                None => plan.pos_at(t),
             };
             let cap = match dir {
                 Direction::Downlink => s.cap_dl_mbps,
@@ -467,16 +479,20 @@ impl Campaign {
             Some(&samples),
             Vec::new(),
             None,
+            &mut phone.snap_scratch,
         )
     }
 
     fn run_rtt(&self, phone: &mut Phone, id: u32, t0: f64, static_od: Option<f64>) -> TestRecord {
         let server = self.server_for(phone.op, t0, static_od);
+        let scratch = std::mem::take(&mut phone.snap_scratch);
         let mut driver = match static_od {
             Some(od) => LinkDriver::static_at(&mut phone.ue, &self.plan, TrafficDemand::Ping, self.cfg.snapshot_tick_s, od),
             None => LinkDriver::driving(&mut phone.ue, &self.plan, TrafficDemand::Ping, self.cfg.snapshot_tick_s),
-        };
+        }
+        .reusing(scratch);
         let plan = &self.plan;
+        let static_pos = static_od.map(|od| plan.route().point_at(od).pos);
         let rtt_model = &mut phone.rtt;
         let test = RttTest {
             duration_s: self.sched.rtt_s,
@@ -484,9 +500,9 @@ impl Campaign {
         };
         let samples = test.run(t0, &server, rtt_model, |t| {
             let s = driver.at(t);
-            let pos = match static_od {
-                Some(od) => plan.route().point_at(od).pos,
-                None => plan.state_at(t).pos,
+            let pos = match static_pos {
+                Some(p) => p,
+                None => plan.pos_at(t),
             };
             PingLinkState {
                 pos,
@@ -509,6 +525,7 @@ impl Campaign {
             None,
             rtts,
             None,
+            &mut phone.snap_scratch,
         )
     }
 
@@ -523,10 +540,12 @@ impl Campaign {
     ) -> TestRecord {
         let server = self.server_for(phone.op, t0, static_od);
         let demand = demand_for(kind);
+        let scratch = std::mem::take(&mut phone.snap_scratch);
         let mut driver = match static_od {
             Some(od) => LinkDriver::static_at(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s, od),
             None => LinkDriver::driving(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s),
-        };
+        }
+        .reusing(scratch);
         let mut metrics = AppMetrics {
             compressed: Some(compressed),
             ..Default::default()
@@ -567,16 +586,19 @@ impl Campaign {
             None,
             Vec::new(),
             Some(metrics),
+            &mut phone.snap_scratch,
         )
     }
 
     fn run_video(&self, phone: &mut Phone, id: u32, t0: f64, static_od: Option<f64>) -> TestRecord {
         let server = self.server_for(phone.op, t0, static_od);
         let demand = demand_for(TestKind::AppVideo);
+        let scratch = std::mem::take(&mut phone.snap_scratch);
         let mut driver = match static_od {
             Some(od) => LinkDriver::static_at(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s, od),
             None => LinkDriver::driving(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s),
-        };
+        }
+        .reusing(scratch);
         let summary = {
             let mut link = AppLinkAdapter {
                 driver: &mut driver,
@@ -604,16 +626,19 @@ impl Campaign {
             None,
             Vec::new(),
             Some(metrics),
+            &mut phone.snap_scratch,
         )
     }
 
     fn run_gaming(&self, phone: &mut Phone, id: u32, t0: f64, static_od: Option<f64>) -> TestRecord {
         let server = self.server_for(phone.op, t0, static_od);
         let demand = demand_for(TestKind::AppGaming);
+        let scratch = std::mem::take(&mut phone.snap_scratch);
         let mut driver = match static_od {
             Some(od) => LinkDriver::static_at(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s, od),
             None => LinkDriver::driving(&mut phone.ue, &self.plan, demand, self.cfg.snapshot_tick_s),
-        };
+        }
+        .reusing(scratch);
         let summary = {
             let mut link = AppLinkAdapter {
                 driver: &mut driver,
@@ -641,10 +666,12 @@ impl Campaign {
             None,
             Vec::new(),
             Some(metrics),
+            &mut phone.snap_scratch,
         )
     }
 
-    /// Assemble a [`TestRecord`] from a finished driver.
+    /// Assemble a [`TestRecord`] from a finished driver. The driver's
+    /// snapshot buffer is handed back through `scratch` for the next test.
     #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
@@ -659,21 +686,22 @@ impl Campaign {
         tput: Option<&[ThroughputSample]>,
         rtt_ms: Vec<f32>,
         app: Option<AppMetrics>,
+        scratch: &mut Vec<LinkSnapshot>,
     ) -> TestRecord {
         let frac_hs5g = driver.frac_hs5g() as f32;
         let kpi = kpi_windows(&driver.snapshots, &driver.handovers, t0, duration_s, tput, kind);
-        let (start_od, end_od) = match static_od {
-            Some(od) => (od, od),
-            None => (
-                self.plan.state_at(t0).odometer_m,
-                self.plan.state_at(t0 + duration_s).odometer_m,
-            ),
+        let (start_od, end_od, tz) = match static_od {
+            Some(od) => (od, od, self.plan.route().timezone_at(od)),
+            None => {
+                let s0 = self.plan.state_at(t0);
+                (
+                    s0.odometer_m,
+                    self.plan.state_at(t0 + duration_s).odometer_m,
+                    s0.timezone,
+                )
+            }
         };
-        let tz = match static_od {
-            Some(od) => self.plan.route().timezone_at(od),
-            None => self.plan.state_at(t0).timezone,
-        };
-        TestRecord {
+        let record = TestRecord {
             id,
             op,
             kind,
@@ -690,7 +718,10 @@ impl Campaign {
             rtt_ms,
             handovers: driver.handovers,
             app,
-        }
+        };
+        *scratch = driver.snapshots;
+        scratch.clear();
+        record
     }
 
     /// One operator's static baseline at one city site. Retries get

@@ -152,14 +152,21 @@ impl Route {
     /// and the odometer gap to its closest approach, in meters, scaled by
     /// the city's urban-radius factor for region classification.
     pub fn nearest_city(&self, od_m: f64) -> (CityId, f64) {
-        let mut best = (CityId(0), f64::INFINITY);
-        for (i, &cod) in self.city_odometer_m.iter().enumerate() {
-            let d = (od_m - cod).abs();
-            if d < best.1 {
-                best = (CityId(i), d);
-            }
-        }
-        best
+        // `city_odometer_m` is strictly increasing, so the nearest city is
+        // one of the two flanking the insertion point. On an exact midpoint
+        // tie the earlier city wins, matching the linear scan this replaces.
+        let cods = &self.city_odometer_m;
+        let i = cods.partition_point(|&c| c < od_m);
+        let best = if i == 0 {
+            0
+        } else if i == cods.len() {
+            cods.len() - 1
+        } else if od_m - cods[i - 1] <= cods[i] - od_m {
+            i - 1
+        } else {
+            i
+        };
+        (CityId(best), (od_m - cods[best]).abs())
     }
 
     /// Region kind at odometer distance `od_m`.
@@ -315,5 +322,33 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_city_route_panics() {
         let _ = Route::from_cities(vec![ROUTE_CITIES[0].clone()], None);
+    }
+
+    #[test]
+    fn nearest_city_matches_linear_scan() {
+        let r = Route::cross_country();
+        let linear = |od_m: f64| {
+            let mut best = (CityId(0), f64::INFINITY);
+            for (i, &cod) in r.city_odometer_m.iter().enumerate() {
+                let d = (od_m - cod).abs();
+                if d < best.1 {
+                    best = (CityId(i), d);
+                }
+            }
+            best
+        };
+        let mut od = -10_000.0;
+        while od < r.total_m() + 20_000.0 {
+            let (li, ld) = linear(od);
+            let (bi, bd) = r.nearest_city(od);
+            assert_eq!(li, bi, "city id at od {od}");
+            assert_eq!(ld.to_bits(), bd.to_bits(), "distance at od {od}");
+            od += 997.0;
+        }
+        // Exact midpoint ties must pick the earlier city (first-wins).
+        let mid = (r.city_odometer_m[0] + r.city_odometer_m[1]) / 2.0;
+        if (mid - r.city_odometer_m[0]) == (r.city_odometer_m[1] - mid) {
+            assert_eq!(r.nearest_city(mid).0, CityId(0));
+        }
     }
 }

@@ -240,17 +240,16 @@ impl DrivePlan {
         self.days.last().map_or(0, |d| d.end_time_s)
     }
 
-    /// Vehicle state at plan-time `t_s`. Outside driving windows the vehicle
-    /// is parked at the previous day's overnight stop (`driving == false`).
-    pub fn state_at(&self, t_s: f64) -> DriveState {
-        let t = t_s.max(0.0);
-        // Find the day whose window contains t, or the nearest earlier day.
-        let mut day_idx = 0usize;
-        for (i, d) in self.days.iter().enumerate() {
-            if t >= d.start_time_s as f64 {
-                day_idx = i;
-            }
-        }
+    /// Day index / odometer / speed / driving flag at plan-time `t` (already
+    /// clamped non-negative). Shared hot-path core of [`Self::state_at`] and
+    /// [`Self::pos_at`].
+    fn locate(&self, t: f64) -> (usize, f64, f64, bool) {
+        // Find the day whose window contains t, or the nearest earlier day:
+        // the last day with start_time_s <= t (day starts are increasing).
+        let day_idx = self
+            .days
+            .partition_point(|d| d.start_time_s as f64 <= t)
+            .saturating_sub(1);
         let d = &self.days[day_idx];
         let ods = &self.day_odometer[day_idx];
         let sps = &self.day_speed[day_idx];
@@ -265,6 +264,14 @@ impl DrivePlan {
             let od = ods[i] + (ods[i + 1] - ods[i]) * frac;
             (od, sps[i] as f64, true)
         };
+        (day_idx, odometer, speed, driving)
+    }
+
+    /// Vehicle state at plan-time `t_s`. Outside driving windows the vehicle
+    /// is parked at the previous day's overnight stop (`driving == false`).
+    pub fn state_at(&self, t_s: f64) -> DriveState {
+        let t = t_s.max(0.0);
+        let (day_idx, odometer, speed, driving) = self.locate(t);
         let pt = self.route.point_at(odometer);
         DriveState {
             time_s: t,
@@ -273,10 +280,20 @@ impl DrivePlan {
             pos: pt.pos,
             bearing_deg: pt.bearing_deg,
             region: self.route.region_at(odometer),
-            timezone: self.route.timezone_at(odometer),
+            timezone: Timezone::from_longitude(pt.pos.lon),
             day: day_idx,
             driving,
         }
+    }
+
+    /// Position only at plan-time `t_s`: skips the region / timezone lookups
+    /// of [`Self::state_at`]. For per-tick app-layer samplers that only need
+    /// geometry; the returned position is bit-identical to
+    /// `state_at(t_s).pos`.
+    pub fn pos_at(&self, t_s: f64) -> LatLon {
+        let t = t_s.max(0.0);
+        let (_, odometer, _, _) = self.locate(t);
+        self.route.point_at(odometer).pos
     }
 
     /// Odometer distance covered in the plan-time window `[t0, t1]`, meters.
@@ -419,6 +436,37 @@ mod tests {
         let b = p.state_at(t0 + 0.5);
         let c = p.state_at(t0 + 1.0);
         assert!(a.odometer_m <= b.odometer_m && b.odometer_m <= c.odometer_m);
+    }
+
+    #[test]
+    fn pos_at_matches_state_at() {
+        let p = plan();
+        let mut t = -10.0;
+        while t < p.end_time_s() as f64 + 7_200.0 {
+            let s = p.state_at(t);
+            let pos = p.pos_at(t);
+            assert_eq!(s.pos.lat.to_bits(), pos.lat.to_bits(), "lat at t={t}");
+            assert_eq!(s.pos.lon.to_bits(), pos.lon.to_bits(), "lon at t={t}");
+            t += 1_237.5;
+        }
+    }
+
+    #[test]
+    fn day_lookup_handles_window_edges() {
+        let p = plan();
+        for d in p.days() {
+            // Just before a day's start the vehicle is parked at the prior
+            // day's stop; exactly at the start it is that day's state.
+            let before = p.state_at(d.start_time_s as f64 - 0.5);
+            assert!(!before.driving);
+            let at = p.state_at(d.start_time_s as f64);
+            assert_eq!(at.day, d.day);
+            assert!((at.odometer_m - d.start_odometer_m).abs() < 1.0);
+        }
+        // Far before the first day: clamps to day 0's morning position.
+        let early = p.state_at(0.0);
+        assert_eq!(early.day, 0);
+        assert!(!early.driving);
     }
 
     #[test]

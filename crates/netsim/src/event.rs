@@ -53,6 +53,30 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Create an empty queue with room for `n` events before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            seq: 0,
+        }
+    }
+
+    /// Remove all pending events, keeping the backing allocation.
+    ///
+    /// Re-arms the tie-break sequence from zero, so a cleared queue is
+    /// indistinguishable from a fresh one — long-lived simulations reuse
+    /// one queue across work units instead of rebuilding the heap (and
+    /// its allocation) per unit.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `payload` at absolute time `time_s`.
     ///
     /// # Panics
@@ -135,5 +159,24 @@ mod tests {
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_resets_ties() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..50 {
+            q.schedule(1.0, i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "clear must keep the backing buffer");
+        // A cleared queue behaves exactly like a fresh one, including the
+        // FIFO tie-break restarting from scratch.
+        q.schedule(2.0, 100);
+        q.schedule(2.0, 101);
+        assert_eq!(q.pop(), Some((2.0, 100)));
+        assert_eq!(q.pop(), Some((2.0, 101)));
     }
 }

@@ -40,6 +40,37 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_pop_order_deterministic_under_ties(
+        // Times drawn from a tiny palette so equal timestamps are the
+        // common case, not the exception.
+        picks in prop::collection::vec(0usize..4, 1..200),
+    ) {
+        let palette = [1.0, 2.0, 2.0, 3.0]; // duplicate on purpose
+        let times: Vec<f64> = picks.iter().map(|&i| palette[i]).collect();
+        // Reference order: stable sort by time — insertion order within
+        // equal timestamps, by construction of stable sorting.
+        let mut expect: Vec<(usize, f64)> = times.iter().copied().enumerate().collect();
+        expect.sort_by(|a, b| a.1.total_cmp(&b.1));
+        // A fresh queue and a reused (filled, cleared, refilled) queue
+        // must both replay exactly that order.
+        let mut fresh = EventQueue::new();
+        let mut reused = EventQueue::with_capacity(4);
+        for i in 0..7 {
+            reused.schedule(i as f64, usize::MAX); // junk from a "previous unit"
+        }
+        reused.clear();
+        for (i, &t) in times.iter().enumerate() {
+            fresh.schedule(t, i);
+            reused.schedule(t, i);
+        }
+        for &(id, t) in &expect {
+            prop_assert_eq!(fresh.pop(), Some((t, id)));
+            prop_assert_eq!(reused.pop(), Some((t, id)));
+        }
+        prop_assert!(fresh.is_empty() && reused.is_empty());
+    }
+
+    #[test]
     fn all_ccs_conserve_bytes(caps in prop::collection::vec(0.0f64..400.0, 20..150),
                               which in 0u8..3) {
         let cc: Box<dyn CongestionControl + Send> = match which {

@@ -9,7 +9,7 @@
 //! module just combines the factors.
 
 use crate::db_to_linear;
-use crate::mcs::{mcs_from_sinr, spectral_efficiency};
+use crate::mcs::{gapped_shannon_bound, mcs_from_bound, spectral_efficiency};
 
 /// Static capacity parameters of one configured link (one technology ×
 /// direction on one carrier network).
@@ -54,8 +54,10 @@ impl CapacityModel {
     /// at the gapped Shannon bound rather than the table floor — the model
     /// must never promise more than physics no matter how low the SINR.
     pub fn capacity(&self, sinr_db: f64, bler: f64, load_share: f64) -> LinkCapacity {
-        let mcs = mcs_from_sinr(sinr_db);
-        let gapped_bound = (1.0 + db_to_linear(sinr_db - 3.0)).log2();
+        // One gapped-bound computation serves both MCS selection and the
+        // physics clamp (identical expressions: SHANNON_GAP_DB is 3 dB).
+        let gapped_bound = gapped_shannon_bound(sinr_db);
+        let mcs = mcs_from_bound(gapped_bound);
         let eff = spectral_efficiency(mcs).min(gapped_bound).max(0.0);
         let mbps = self.total_bw_mhz
             * eff

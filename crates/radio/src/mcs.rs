@@ -27,11 +27,25 @@ const SHANNON_GAP_DB: f64 = 3.0;
 /// implementation gap. This guarantees the resulting capacity never exceeds
 /// physics, which linear dB-per-step maps violate at low SINR.
 pub fn mcs_from_sinr(sinr_db: f64) -> u8 {
+    mcs_from_bound(gapped_shannon_bound(sinr_db))
+}
+
+/// The gapped Shannon bound at `sinr_db`, bits/s/Hz: the spectral
+/// efficiency ceiling both MCS selection and capacity clamp against.
+/// Exposed so callers needing both can compute the transcendentals once.
+pub fn gapped_shannon_bound(sinr_db: f64) -> f64 {
     let snr_lin = 10f64.powf((sinr_db - SHANNON_GAP_DB) / 10.0);
-    let bound = (1.0 + snr_lin).log2();
-    match EFFICIENCY.iter().rposition(|&e| e <= bound) {
-        Some(i) => i as u8,
-        None => 0,
+    (1.0 + snr_lin).log2()
+}
+
+/// Largest MCS whose spectral efficiency fits under a precomputed gapped
+/// Shannon bound (see [`gapped_shannon_bound`]).
+pub fn mcs_from_bound(bound: f64) -> u8 {
+    // EFFICIENCY is strictly increasing, so the last entry `<= bound` sits
+    // just before the partition point.
+    match EFFICIENCY.partition_point(|&e| e <= bound) {
+        0 => 0,
+        i => (i - 1) as u8,
     }
 }
 

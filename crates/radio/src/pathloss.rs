@@ -4,16 +4,39 @@
 //! model. The exponent `n` grows with clutter (urban canyons) and is higher
 //! for mmWave beyond its LOS range because blockage dominates.
 
+use std::sync::OnceLock;
+
 use crate::band::Band;
+
+/// Constants for the cheap `log10` lower bound: a rounded-down `log10(2)`
+/// and a 64-entry rounded-down table of `log10(1 + k/64)`.
+fn log10_lb_consts() -> &'static (f64, [f64; 64]) {
+    static CONSTS: OnceLock<(f64, [f64; 64])> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        // The 1e-12 nudges make both pieces strict lower bounds regardless
+        // of libm's rounding direction (its error is ~1 ulp ≈ 1e-16 here).
+        let log10_2_lo = 2f64.log10() - 1e-12;
+        let mut table = [0.0; 64];
+        for (k, t) in table.iter_mut().enumerate() {
+            *t = (1.0 + k as f64 / 64.0).log10() - 1e-12;
+        }
+        (log10_2_lo, table)
+    })
+}
 
 /// A log-distance path-loss model for one band in one clutter environment.
 #[derive(Debug, Clone, Copy)]
 pub struct PathLossModel {
-    band: Band,
     /// Path-loss exponent.
     exponent: f64,
     /// Additional fixed clutter loss, dB.
     clutter_db: f64,
+    /// FSPL at the 1 m reference, dB — cached so the per-cell hot path
+    /// does not recompute the carrier log10 on every lookup.
+    fspl_1m_db: f64,
+    /// `10·n`, the left prefix of the log-distance term, cached for the
+    /// same reason (left-associative, so the product is bit-identical).
+    exp10: f64,
 }
 
 impl PathLossModel {
@@ -35,9 +58,10 @@ impl PathLossModel {
             3.0 * clutter
         };
         PathLossModel {
-            band,
             exponent,
             clutter_db,
+            fspl_1m_db: band.fspl_1m_db(),
+            exp10: 10.0 * exponent,
         }
     }
 
@@ -45,12 +69,37 @@ impl PathLossModel {
     /// the 1 m reference.
     pub fn loss_db(&self, d_m: f64) -> f64 {
         let d = d_m.max(1.0);
-        self.band.fspl_1m_db() + 10.0 * self.exponent * d.log10() + self.clutter_db
+        self.fspl_1m_db + self.exp10 * d.log10() + self.clutter_db
     }
 
     /// The path-loss exponent in use.
     pub fn exponent(&self) -> f64 {
         self.exponent
+    }
+
+    /// Sound lower bound on `loss_db(d)` for `d = sqrt(d2_m2)`, computed
+    /// without `sqrt` or `log10` (exponent bits + a mantissa table).
+    ///
+    /// Guarantee: the returned value is strictly below what
+    /// [`PathLossModel::loss_db`] computes for that distance, including
+    /// every floating-point rounding on either side (a 1e-6 dB margin
+    /// absorbs them; the structural slack from the 6-bit mantissa table is
+    /// ≤ `0.0034·exp10` ≈ 0.15 dB). Candidate scans use it to skip the
+    /// exact evaluation for cells that provably cannot reach the top two.
+    ///
+    /// Returns `f64::NEG_INFINITY` (a vacuous bound) when `d² < 4`, where
+    /// the exponent decomposition would need the sub-1 m clamp handled.
+    pub fn loss_lb_db(&self, d2_m2: f64) -> f64 {
+        if !(d2_m2 >= 4.0) {
+            return f64::NEG_INFINITY;
+        }
+        let (log10_2_lo, table) = log10_lb_consts();
+        let bits = d2_m2.to_bits();
+        let e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+        let k = ((bits >> 46) & 0x3F) as usize;
+        // log10(d) = log10(d²)/2, bounded below piece by piece.
+        let lb_log10_d = 0.5 * ((e as f64) * log10_2_lo + table[k]);
+        self.fspl_1m_db + self.exp10 * lb_log10_d + self.clutter_db - 1e-6
     }
 }
 
@@ -88,6 +137,32 @@ mod tests {
         let urban = PathLossModel::new(b, 1.0);
         let rural = PathLossModel::new(b, 0.0);
         assert!(urban.loss_db(2_000.0) > rural.loss_db(2_000.0) + 10.0);
+    }
+
+    #[test]
+    fn loss_lb_is_a_sound_tight_bound() {
+        // The bound must sit strictly below the exact loss everywhere, and
+        // within the documented ~0.16 dB structural slack.
+        for clutter in [0.0, 0.3, 0.7, 1.0] {
+            for band in [Band::new(700.0), Band::new(2_600.0), Band::new(28_000.0)] {
+                let m = PathLossModel::new(band, clutter);
+                let mut d = 2.0;
+                while d < 40_000.0 {
+                    let exact = m.loss_db(d);
+                    let lb = m.loss_lb_db(d * d);
+                    assert!(lb < exact, "lb {lb} !< exact {exact} at d={d}");
+                    assert!(exact - lb < 0.2, "slack {} at d={d}", exact - lb);
+                    d *= 1.0173;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_lb_vacuous_below_two_meters() {
+        let m = PathLossModel::new(Band::new(1_900.0), 0.5);
+        assert_eq!(m.loss_lb_db(3.9), f64::NEG_INFINITY);
+        assert_eq!(m.loss_lb_db(0.0), f64::NEG_INFINITY);
     }
 
     #[test]

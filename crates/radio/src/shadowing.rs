@@ -13,6 +13,54 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Cache for the AR(1) advance coefficients `ρ = exp(−Δ/D_corr)` and
+/// `k = sqrt(1 − ρ²)·σ`, keyed on the exact bit patterns of the inputs.
+///
+/// Many shadowing fields advance by the same Δ in one simulation tick
+/// (every cell in the audible window is queried at the same odometer each
+/// step), so the `exp`/`sqrt` pair can be shared across fields with equal
+/// (Δ, D_corr, σ). Keying on bit patterns keeps [`ShadowingField::at_memo`]
+/// bit-identical to [`ShadowingField::at`]: a memo hit replays exactly the
+/// values a miss would compute.
+#[derive(Debug, Clone)]
+pub struct RhoMemo {
+    delta_m: f64,
+    corr_dist_m: f64,
+    sigma_db: f64,
+    rho: f64,
+    k: f64,
+}
+
+impl Default for RhoMemo {
+    fn default() -> Self {
+        // NaN never bit-matches a real Δ, so the first lookup always fills.
+        RhoMemo {
+            delta_m: f64::NAN,
+            corr_dist_m: f64::NAN,
+            sigma_db: f64::NAN,
+            rho: 0.0,
+            k: 0.0,
+        }
+    }
+}
+
+impl RhoMemo {
+    #[inline]
+    fn coeffs(&mut self, delta_m: f64, corr_dist_m: f64, sigma_db: f64) -> (f64, f64) {
+        if self.delta_m.to_bits() != delta_m.to_bits()
+            || self.corr_dist_m.to_bits() != corr_dist_m.to_bits()
+            || self.sigma_db.to_bits() != sigma_db.to_bits()
+        {
+            self.delta_m = delta_m;
+            self.corr_dist_m = corr_dist_m;
+            self.sigma_db = sigma_db;
+            self.rho = (-delta_m / corr_dist_m).exp();
+            self.k = (1.0 - self.rho * self.rho).sqrt() * sigma_db;
+        }
+        (self.rho, self.k)
+    }
+}
+
 /// A lazily evaluated AR(1) shadowing process over distance.
 #[derive(Debug, Clone)]
 pub struct ShadowingField {
@@ -64,6 +112,49 @@ impl ShadowingField {
         self.last_value_db
     }
 
+    /// Same process as [`ShadowingField::at`], with the AR advance
+    /// coefficients cached in `memo` across calls (and across fields).
+    ///
+    /// Bit-identical to `at`: the advance `ρ·S + sqrt(1−ρ²)·σ·Z` evaluates
+    /// left-associatively, so hoisting `k = sqrt(1−ρ²)·σ` changes no
+    /// rounding, and the memo only replays coefficients computed from
+    /// bit-equal inputs.
+    pub fn at_memo(&mut self, d_m: f64, memo: &mut RhoMemo) -> f64 {
+        if !self.initialized {
+            self.initialized = true;
+            self.last_d_m = d_m;
+            self.last_value_db = self.gauss() * self.sigma_db;
+            return self.last_value_db;
+        }
+        let delta = d_m - self.last_d_m;
+        debug_assert!(delta >= -1e-9, "shadowing evaluated backwards: {delta}");
+        if delta <= 0.0 {
+            return self.last_value_db;
+        }
+        let (rho, k) = memo.coeffs(delta, self.corr_dist_m, self.sigma_db);
+        self.last_value_db = rho * self.last_value_db + k * self.gauss();
+        self.last_d_m = d_m;
+        self.last_value_db
+    }
+
+    /// Fill `out` with the field sampled at `start_d_m`, `start_d_m +
+    /// step_m`, `start_d_m + 2·step_m`, …
+    ///
+    /// Byte-identical to the per-tick loop `d += step_m; at(d)` — distances
+    /// accumulate the same way, so every Δ (and thus every ρ) has the same
+    /// bit pattern — but amortizes the `exp`/`sqrt` per span instead of per
+    /// sample.
+    pub fn fill_span(&mut self, start_d_m: f64, step_m: f64, out: &mut [f64]) {
+        let mut memo = RhoMemo::default();
+        let mut d = start_d_m;
+        for (i, o) in out.iter_mut().enumerate() {
+            if i > 0 {
+                d += step_m;
+            }
+            *o = self.at_memo(d, &mut memo);
+        }
+    }
+
     /// Std-dev of the marginal distribution, dB.
     pub fn sigma_db(&self) -> f64 {
         self.sigma_db
@@ -72,12 +163,137 @@ impl ShadowingField {
     /// Approximate standard normal via sum of uniforms (Irwin–Hall with
     /// n = 12): cheap, deterministic, tails adequate for shadowing.
     fn gauss(&mut self) -> f64 {
-        let mut s = 0.0;
-        for _ in 0..12 {
-            s += self.rng.gen::<f64>();
-        }
-        s - 6.0
+        gauss(&mut self.rng)
     }
+}
+
+/// A bank of many [`ShadowingField`]-equivalent processes sharing one
+/// (σ, D_corr), stored struct-of-arrays and advanced span-at-a-time.
+///
+/// The per-tick candidate scan advances every audible cell's field at the
+/// same odometer. The bank keeps generator state, last distance, and last
+/// value in dense position-indexed arrays so one [`ShadowBank::advance_span`]
+/// call walks a contiguous window with no per-field lookup, sharing the AR
+/// coefficients through a [`RhoMemo`]. Each field consumes its own stream
+/// in its own order, so every value is bit-identical to a standalone
+/// [`ShadowingField`] fed the same seed and distance sequence (a test pins
+/// this).
+#[derive(Debug, Clone)]
+pub struct ShadowBank {
+    sigma_db: f64,
+    corr_dist_m: f64,
+    rng: Vec<SmallRng>,
+    last_d_m: Vec<f64>,
+    val: Vec<f64>,
+    live: Vec<bool>,
+    memo: RhoMemo,
+    /// Scratch: values returned from the current call.
+    out: Vec<f64>,
+}
+
+impl ShadowBank {
+    /// A bank with the given marginal std-dev and decorrelation distance.
+    pub fn new(sigma_db: f64, corr_dist_m: f64) -> Self {
+        assert!(sigma_db >= 0.0 && corr_dist_m > 0.0);
+        ShadowBank {
+            sigma_db,
+            corr_dist_m,
+            rng: Vec::new(),
+            last_d_m: Vec::new(),
+            val: Vec::new(),
+            live: Vec::new(),
+            memo: RhoMemo::default(),
+            out: Vec::new(),
+        }
+    }
+
+    fn ensure_len(&mut self, len: usize) {
+        if self.live.len() < len {
+            // Placeholder generators; a slot's real generator is seeded the
+            // first time the slot goes live.
+            // lint:allow(D4): inert placeholder, overwritten before any draw
+            self.rng.resize_with(len, || SmallRng::seed_from_u64(0));
+            self.last_d_m.resize(len, 0.0);
+            self.val.resize(len, 0.0);
+            self.live.resize(len, false);
+        }
+    }
+
+    /// Advance the fields at `positions` to odometer `d_m` and return their
+    /// values, in position order. `seed_of` supplies the field seed for a
+    /// position the first time it goes live (same derivation a standalone
+    /// [`ShadowingField::new`] would receive).
+    pub fn advance_span(
+        &mut self,
+        positions: std::ops::Range<usize>,
+        d_m: f64,
+        mut seed_of: impl FnMut(usize) -> u64,
+    ) -> &[f64] {
+        self.ensure_len(positions.end);
+        self.out.clear();
+        for pos in positions {
+            let v = if !self.live[pos] {
+                self.live[pos] = true;
+                // lint:allow(D4): same (UE seed ^ cell id) derivation and
+                // decorrelating multiplier as ShadowingField::new
+                self.rng[pos] = SmallRng::seed_from_u64(
+                    seed_of(pos).wrapping_mul(0xA24B_AED4_963E_E407),
+                );
+                let v = gauss(&mut self.rng[pos]) * self.sigma_db;
+                self.val[pos] = v;
+                self.last_d_m[pos] = d_m;
+                v
+            } else {
+                let delta = d_m - self.last_d_m[pos];
+                debug_assert!(delta >= -1e-9, "shadowing evaluated backwards");
+                if delta <= 0.0 {
+                    self.val[pos]
+                } else {
+                    let (rho, k) = self.memo.coeffs(delta, self.corr_dist_m, self.sigma_db);
+                    let v = rho * self.val[pos] + k * gauss(&mut self.rng[pos]);
+                    self.val[pos] = v;
+                    self.last_d_m[pos] = d_m;
+                    v
+                }
+            };
+            self.out.push(v);
+        }
+        &self.out
+    }
+
+    /// Advance a single field (convenience wrapper over `advance_span`).
+    pub fn advance_one(&mut self, pos: usize, d_m: f64, seed: u64) -> f64 {
+        self.advance_span(pos..pos + 1, d_m, |_| seed)[0]
+    }
+
+    /// Whether the field at `pos` is live.
+    pub fn is_live(&self, pos: usize) -> bool {
+        self.live.get(pos).copied().unwrap_or(false)
+    }
+
+    /// Number of live fields.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Deactivate every live field last advanced before `min_d_m`.
+    pub fn retire_before(&mut self, min_d_m: f64) {
+        for (pos, l) in self.live.iter_mut().enumerate() {
+            if *l && self.last_d_m[pos] < min_d_m {
+                *l = false;
+            }
+        }
+    }
+}
+
+/// Approximate standard normal via sum of 12 uniforms (Irwin–Hall), the
+/// same kernel [`ShadowingField`] uses.
+fn gauss(rng: &mut SmallRng) -> f64 {
+    let mut s = 0.0;
+    for _ in 0..12 {
+        s += rng.gen::<f64>();
+    }
+    s - 6.0
 }
 
 #[cfg(test)]
@@ -130,6 +346,99 @@ mod tests {
         let mut f1 = ShadowingField::new(6.0, 100.0, 1);
         let mut f2 = ShadowingField::new(6.0, 100.0, 2);
         assert_ne!(f1.at(100.0), f2.at(100.0));
+    }
+
+    #[test]
+    fn at_memo_bit_identical_to_at() {
+        let mut plain = ShadowingField::new(6.0, 60.0, 4242);
+        let mut memoed = ShadowingField::new(6.0, 60.0, 4242);
+        let mut memo = RhoMemo::default();
+        // Mixed schedule: repeated step, step change, zero step, big jump.
+        let ds = [0.0, 2.5, 5.0, 7.5, 7.5, 8.0, 500.0, 502.5, 505.0];
+        for &d in &ds {
+            assert_eq!(
+                plain.at(d).to_bits(),
+                memoed.at_memo(d, &mut memo).to_bits(),
+                "diverged at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_shared_across_fields_is_transparent() {
+        // One memo serving many fields (the hot-path usage) must not leak
+        // state between them.
+        let mut memo = RhoMemo::default();
+        for seed in 0..8u64 {
+            let mut plain = ShadowingField::new(5.5, 90.0, seed);
+            let mut memoed = ShadowingField::new(5.5, 90.0, seed);
+            let mut d = 0.0;
+            for _ in 0..50 {
+                d += 3.7;
+                assert_eq!(plain.at(d).to_bits(), memoed.at_memo(d, &mut memo).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fill_span_matches_per_tick() {
+        let mut plain = ShadowingField::new(7.0, 25.0, 99);
+        let mut batched = ShadowingField::new(7.0, 25.0, 99);
+        // Warm both up so the span starts mid-process.
+        assert_eq!(plain.at(10.0).to_bits(), batched.at(10.0).to_bits());
+        let (start, step, n) = (12.0, 0.1, 257);
+        let mut expect = Vec::with_capacity(n);
+        let mut d = start;
+        for i in 0..n {
+            if i > 0 {
+                d += step;
+            }
+            expect.push(plain.at(d));
+        }
+        let mut got = vec![0.0; n];
+        batched.fill_span(start, step, &mut got);
+        for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(e.to_bits(), g.to_bits(), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn bank_bit_identical_to_standalone_fields() {
+        // A bank advancing a drifting window of fields must reproduce each
+        // standalone field exactly: same seeds, same distance sequence,
+        // same bits — inits, repeats, and batched advances alike.
+        let seed_of = |pos: usize| 1000 + pos as u64 * 7;
+        let mut bank = ShadowBank::new(5.5, 90.0);
+        let mut reference: Vec<ShadowingField> = (0..40)
+            .map(|p| ShadowingField::new(5.5, 90.0, seed_of(p)))
+            .collect();
+        let mut d = 0.0;
+        for step in 0..400usize {
+            d += 2.3;
+            // Window slides forward one position every 20 steps.
+            let lo = step / 20;
+            let hi = (lo + 12).min(40);
+            let got = bank.advance_span(lo..hi, d, seed_of).to_vec();
+            for (j, pos) in (lo..hi).enumerate() {
+                let want = reference[pos].at(d);
+                assert_eq!(want.to_bits(), got[j].to_bits(), "pos {pos} step {step}");
+            }
+            // Occasionally re-query the same distance (repeat path).
+            if step % 7 == 0 {
+                let again = bank.advance_span(lo..hi, d, seed_of).to_vec();
+                assert_eq!(got, again);
+            }
+        }
+    }
+
+    #[test]
+    fn bank_retire_before_drops_stale_fields() {
+        let mut bank = ShadowBank::new(6.0, 60.0);
+        let _ = bank.advance_span(0..10, 100.0, |p| p as u64);
+        let _ = bank.advance_span(5..15, 900.0, |p| p as u64);
+        bank.retire_before(500.0);
+        assert_eq!(bank.live_count(), 10, "positions 5..15 stay live");
+        assert!(!bank.is_live(0) && bank.is_live(5) && bank.is_live(14));
     }
 
     #[test]

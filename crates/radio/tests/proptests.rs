@@ -84,6 +84,91 @@ proptest! {
     }
 
     #[test]
+    fn capacity_monotone_in_sinr(bw in 5.0f64..800.0, layers in 1.0f64..4.0,
+                                 overhead in 0.3f64..1.0, bler in 0.0f64..0.5,
+                                 share in 0.05f64..1.0,
+                                 s1 in -15.0f64..45.0, s2 in -15.0f64..45.0) {
+        // Within one MCS table, more SINR can never yield less capacity:
+        // the MCS index is a non-decreasing step function of SINR and each
+        // step maps to a higher spectral efficiency.
+        let m = CapacityModel::new(bw, layers, overhead);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let (c_lo, c_hi) = (m.capacity(lo, bler, share), m.capacity(hi, bler, share));
+        prop_assert!(c_lo.mcs <= c_hi.mcs);
+        prop_assert!(c_lo.mbps <= c_hi.mbps + 1e-9);
+    }
+
+    #[test]
+    fn shadowing_autocorrelation_bounded(seed in 0u64..1_000, sigma in 0.5f64..10.0,
+                                         corr in 20.0f64..200.0,
+                                         steps in prop::collection::vec(0.1f64..500.0, 2..50)) {
+        // AR(1): S(d+Δ) = ρ·S(d) + sqrt(1−ρ²)·σ·Z with ρ = exp(−Δ/D_corr)
+        // and Z Irwin–Hall(12)-bounded by ±6. The innovation — how far the
+        // new value strays from the decayed old one — is therefore bounded
+        // by 6·sqrt(1−ρ²)·σ at every step, which is the testable face of
+        // "autocorrelation ρ per Δ".
+        let mut f = ShadowingField::new(sigma, corr, seed);
+        let mut d = 0.0;
+        let mut prev = f.at(d);
+        for step in steps {
+            d += step;
+            let cur = f.at(d);
+            let rho = (-step / corr).exp();
+            let bound = 6.0 * (1.0 - rho * rho).sqrt() * sigma;
+            prop_assert!((cur - rho * prev).abs() <= bound + 1e-9,
+                         "innovation {} exceeds bound {}", (cur - rho * prev).abs(), bound);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn shadowing_span_resume_stable(seed in 0u64..1_000, sigma in 0.5f64..10.0,
+                                    step in 0.5f64..50.0,
+                                    split in 1usize..63, total in 64usize..65) {
+        // Filling one long span must be bit-identical to filling it in two
+        // chunks that meet at an arbitrary boundary: the field's resume
+        // state (last distance + last value) fully determines the process.
+        let total = total.max(split + 1);
+        let mut whole = ShadowingField::new(sigma, 120.0, seed);
+        let mut parts = ShadowingField::new(sigma, 120.0, seed);
+        let mut buf_w = vec![0.0f64; total];
+        whole.fill_span(10.0, step, &mut buf_w);
+        let mut buf_a = vec![0.0f64; split];
+        let mut buf_b = vec![0.0f64; total - split];
+        parts.fill_span(10.0, step, &mut buf_a);
+        // Resume one step past the first chunk's last distance, produced by
+        // the same repeated accumulation fill_span uses internally — a
+        // `split·step` multiplication could differ in the last bit.
+        let mut resume_d = 10.0;
+        for _ in 0..split {
+            resume_d += step;
+        }
+        parts.fill_span(resume_d, step, &mut buf_b);
+        for (i, (&w, &p)) in buf_w.iter().zip(buf_a.iter().chain(buf_b.iter())).enumerate() {
+            prop_assert_eq!(w.to_bits(), p.to_bits(), "diverged at sample {}", i);
+        }
+    }
+
+    #[test]
+    fn shadowing_span_matches_per_tick(seed in 0u64..1_000, sigma in 0.5f64..10.0,
+                                       start in 0.0f64..10_000.0, step in 0.01f64..100.0,
+                                       n in 1usize..128) {
+        // Batched generation must be byte-identical to the per-tick loop it
+        // replaced: same distances, same RNG draws, same rounding.
+        let mut batched = ShadowingField::new(sigma, 80.0, seed);
+        let mut ticked = ShadowingField::new(sigma, 80.0, seed);
+        let mut buf = vec![0.0f64; n];
+        batched.fill_span(start, step, &mut buf);
+        let mut d = start;
+        for (i, &b) in buf.iter().enumerate() {
+            if i > 0 {
+                d += step;
+            }
+            prop_assert_eq!(b.to_bits(), ticked.at(d).to_bits(), "diverged at sample {}", i);
+        }
+    }
+
+    #[test]
     fn every_technology_has_consistent_metadata(idx in 0usize..5) {
         let t = Technology::ALL[idx];
         prop_assert!(t.nominal_range_m() > 0.0);

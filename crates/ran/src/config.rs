@@ -8,6 +8,8 @@
 //! 3.4 Gbps, AT&T mmWave DL 2.0 Gbps, T-Mobile midband DL 0.8 Gbps, Verizon
 //! mmWave UL 350 Mbps) — see DESIGN.md §4.
 
+use std::sync::OnceLock;
+
 use wheels_radio::band::Technology;
 use wheels_radio::capacity::CapacityModel;
 
@@ -113,6 +115,46 @@ pub fn link_config(op: Operator, tech: Technology, dir: Direction) -> LinkConfig
     }
 }
 
+/// All 30 (operator, technology, direction) configurations plus their
+/// linear noise floors, materialized once. [`UeRadio::step`] looks two
+/// configs up per tick, so the hot path must not re-allocate `cc_mhz` or
+/// redo the dB→linear conversion every time.
+///
+/// [`UeRadio::step`]: crate::ue::UeRadio::step
+static CONFIG_TABLE: OnceLock<Vec<(LinkConfig, f64)>> = OnceLock::new();
+
+fn config_table() -> &'static [(LinkConfig, f64)] {
+    CONFIG_TABLE.get_or_init(|| {
+        let mut v = Vec::with_capacity(30);
+        for op in Operator::ALL {
+            for tech in Technology::ALL {
+                for dir in Direction::BOTH {
+                    let cfg = link_config(op, tech, dir);
+                    let noise_lin = 10f64.powf(cfg.noise_eff_dbm / 10.0);
+                    v.push((cfg, noise_lin));
+                }
+            }
+        }
+        v
+    })
+}
+
+fn config_index(op: Operator, tech: Technology, dir: Direction) -> usize {
+    (op as usize * 5 + crate::cell::tech_index(tech)) * 2 + dir as usize
+}
+
+/// Borrow the precomputed configuration for an operator/technology/
+/// direction — same values as [`link_config`], no per-call allocation.
+pub fn link_config_ref(op: Operator, tech: Technology, dir: Direction) -> &'static LinkConfig {
+    &config_table()[config_index(op, tech, dir)].0
+}
+
+/// The linear noise-plus-interference floor `10^(noise_eff_dbm/10)` for a
+/// configuration, precomputed with the exact expression the SINR path uses.
+pub fn link_noise_lin(op: Operator, tech: Technology, dir: Direction) -> f64 {
+    config_table()[config_index(op, tech, dir)].1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +244,29 @@ mod tests {
                     assert!(c.layers >= 1.0);
                     assert!((0.0..=1.0).contains(&c.overhead));
                     assert!((-130.0..-80.0).contains(&c.noise_eff_dbm));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_table_matches_constructor() {
+        for op in Operator::ALL {
+            for tech in Technology::ALL {
+                for dir in Direction::BOTH {
+                    let fresh = link_config(op, tech, dir);
+                    let cached = link_config_ref(op, tech, dir);
+                    assert_eq!(fresh.cc_mhz, cached.cc_mhz);
+                    assert_eq!(fresh.layers.to_bits(), cached.layers.to_bits());
+                    assert_eq!(fresh.overhead.to_bits(), cached.overhead.to_bits());
+                    assert_eq!(
+                        fresh.noise_eff_dbm.to_bits(),
+                        cached.noise_eff_dbm.to_bits()
+                    );
+                    assert_eq!(
+                        link_noise_lin(op, tech, dir).to_bits(),
+                        10f64.powf(fresh.noise_eff_dbm / 10.0).to_bits()
+                    );
                 }
             }
         }

@@ -5,20 +5,15 @@
 //! the UE's current position, how strong is it, and how strong is the
 //! runner-up (which doubles as the dominant interferer for SINR)?
 
-// lint:allow(D2): per-cell shadowing store — entry lookups keyed by
-// CellId, values derived from (seed, cell) alone, and the prune's
-// retain() predicate is per-entry, so traversal order cannot leak
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use wheels_geo::region::RegionKind;
 use wheels_radio::band::Technology;
 use wheels_radio::pathloss::PathLossModel;
-use wheels_radio::shadowing::ShadowingField;
+use wheels_radio::shadowing::ShadowBank;
 
-use crate::cell::{CellDb, CellId};
+use crate::cell::{tech_index, CellDb, CellId};
 
 /// Clutter factor for a region kind, feeding [`PathLossModel`].
 pub fn clutter(region: RegionKind) -> f64 {
@@ -55,22 +50,28 @@ pub struct LayerCandidate {
     pub second_cell: Option<CellId>,
 }
 
-/// A shadowing field plus the odometer position it was last queried at.
-#[derive(Debug)]
-struct ShadowEntry {
-    field: ShadowingField,
-    last_od_m: f64,
+/// Shadowing parameters (σ dB, decorrelation distance m) per technology.
+/// mmWave shadowing is harsher and changes faster (blockage).
+pub fn shadow_params(tech: Technology) -> (f64, f64) {
+    match tech {
+        Technology::Nr5gMmWave => (7.0, 25.0),
+        Technology::Nr5gMid => (6.0, 60.0),
+        _ => (5.5, 90.0),
+    }
 }
 
 /// Per-UE store of shadowing fields, one per cell actually evaluated.
 ///
 /// Fields are seeded from (UE seed, cell id) so every UE sees its own
 /// deterministic shadowing realization per cell, evaluated monotonically in
-/// odometer distance as the vehicle advances.
+/// odometer distance as the vehicle advances. Storage is one
+/// position-indexed [`ShadowBank`] per technology layer (the caller passes
+/// the cell's position in its layer's sorted array), so the per-tick scan
+/// advances the whole audible window in one batched call.
 #[derive(Debug)]
 pub struct ShadowStore {
     seed: u64,
-    fields: HashMap<CellId, ShadowEntry>,
+    banks: [ShadowBank; 5],
     steps_since_prune: u32,
 }
 
@@ -79,26 +80,35 @@ impl ShadowStore {
     pub fn new(seed: u64) -> Self {
         ShadowStore {
             seed,
-            fields: HashMap::new(),
+            banks: Technology::ALL.map(|t| {
+                let (sigma, corr) = shadow_params(t);
+                ShadowBank::new(sigma, corr)
+            }),
             steps_since_prune: 0,
         }
     }
 
-    /// Shadowing in dB for `cell` at odometer `od_m`.
-    pub fn shadow_db(&mut self, cell: CellId, tech: Technology, od_m: f64) -> f64 {
-        let seed = self.seed ^ (u64::from(cell.0)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        let (sigma, corr) = match tech {
-            // mmWave shadowing is harsher and changes faster (blockage).
-            Technology::Nr5gMmWave => (7.0, 25.0),
-            Technology::Nr5gMid => (6.0, 60.0),
-            _ => (5.5, 90.0),
-        };
-        let entry = self.fields.entry(cell).or_insert_with(|| ShadowEntry {
-            field: ShadowingField::new(sigma, corr, seed),
-            last_od_m: od_m,
-        });
-        entry.last_od_m = od_m;
-        entry.field.at(od_m)
+    /// Advance the fields for the cells at layer positions `positions`
+    /// (ids indexed by position) to odometer `od_m`; returns their values
+    /// in position order.
+    pub fn advance_span(
+        &mut self,
+        tech: Technology,
+        positions: std::ops::Range<usize>,
+        ids: &[CellId],
+        od_m: f64,
+    ) -> &[f64] {
+        let ue_seed = self.seed;
+        self.banks[tech_index(tech)].advance_span(positions, od_m, |pos| {
+            ue_seed ^ u64::from(ids[pos].0).wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+        })
+    }
+
+    /// Shadowing in dB for the cell at layer position `pos` (with id
+    /// `cell`, which seeds the field) at odometer `od_m`.
+    pub fn shadow_at(&mut self, tech: Technology, pos: usize, cell: CellId, od_m: f64) -> f64 {
+        let seed = self.seed ^ u64::from(cell.0).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        self.banks[tech_index(tech)].advance_one(pos, od_m, seed)
     }
 
     /// Drop fields for cells left far behind; call occasionally.
@@ -116,17 +126,19 @@ impl ShadowStore {
             return;
         }
         self.steps_since_prune = 0;
-        self.fields.retain(|_, e| e.last_od_m >= od_m - keep_window_m);
+        for bank in &mut self.banks {
+            bank.retire_before(od_m - keep_window_m);
+        }
     }
 
     /// Number of live shadowing fields (diagnostics).
     pub fn len(&self) -> usize {
-        self.fields.len()
+        self.banks.iter().map(ShadowBank::live_count).sum()
     }
 
     /// Whether the store holds no fields yet.
     pub fn is_empty(&self) -> bool {
-        self.fields.is_empty()
+        self.len() == 0
     }
 }
 
@@ -142,32 +154,89 @@ pub fn evaluate_layer(
     clutter_scale: f64,
     shadows: &mut ShadowStore,
 ) -> Option<LayerCandidate> {
-    let window = tech.nominal_range_m() * 1.6;
-    let cells = db.cells_near(tech, od_m, window);
-    if cells.is_empty() {
-        return None;
-    }
-    let clut = if tech == Technology::Nr5gMmWave {
+    let pl = PathLossModel::new(tech.band(), layer_clutter(tech, region, clutter_scale));
+    evaluate_layer_with(db, tech, od_m, &pl, shadows)
+}
+
+/// Effective clutter factor of one layer at one region: what
+/// [`evaluate_layer`] feeds [`PathLossModel::new`]. Exposed so per-UE
+/// callers can cache the model while the region is unchanged.
+pub fn layer_clutter(tech: Technology, region: RegionKind, clutter_scale: f64) -> f64 {
+    if tech == Technology::Nr5gMmWave {
         // mmWave cells are deployed for street-level LOS; effective clutter
         // is far below the macro environment's.
         clutter(region) * 0.25 * clutter_scale
     } else {
         clutter(region) * clutter_scale
-    };
-    let pl = PathLossModel::new(tech.band(), clut);
+    }
+}
+
+/// [`evaluate_layer`] with a caller-supplied path-loss model (cached per
+/// layer while the clutter environment is unchanged — the hot path).
+pub fn evaluate_layer_with(
+    db: &CellDb,
+    tech: Technology,
+    od_m: f64,
+    pl: &PathLossModel,
+    shadows: &mut ShadowStore,
+) -> Option<LayerCandidate> {
+    let window = tech.nominal_range_m() * 1.6;
+    let range = db.window_range(tech, od_m, window);
+    evaluate_layer_span(db, tech, range, od_m, pl, shadows)
+}
+
+/// [`evaluate_layer_with`] with the audible window already located —
+/// per-UE steppers track it incrementally with a
+/// [`crate::cell::WindowCursor`] instead of re-running the binary
+/// searches every tick. `range` must equal what
+/// [`CellDb::window_range`] returns for `tech`'s window at `od_m`.
+pub fn evaluate_layer_span(
+    db: &CellDb,
+    tech: Technology,
+    range: std::ops::Range<usize>,
+    od_m: f64,
+    pl: &PathLossModel,
+    shadows: &mut ShadowStore,
+) -> Option<LayerCandidate> {
+    if range.is_empty() {
+        return None;
+    }
+    let layer = db.layer(tech);
+    let (ids, ods, lat_sq, eirp) = (
+        layer.ids(),
+        layer.od_m(),
+        layer.lat_sq_m2(),
+        layer.eirp_re_dbm(),
+    );
+    // The shadowing advance is unconditional for every audible cell —
+    // pruned-from-scoring or not — or the per-field RNG streams shift.
+    let sh = shadows.advance_span(tech, range.clone(), ids, od_m);
     let mut best: Option<(CellId, f64)> = None;
     let mut second: Option<(CellId, f64)> = None;
-    for c in cells {
-        let rsrp = c.eirp_re_dbm - pl.loss_db(c.distance_m(od_m)) + shadows.shadow_db(c.id, tech, od_m);
+    for (j, i) in range.enumerate() {
+        let shv = sh[j];
+        let along = od_m - ods[i];
+        let d2 = along * along + lat_sq[i];
+        if let Some((_, s)) = second {
+            // Contender skip: `loss_lb_db` is strictly below the exact
+            // loss, so `ub` strictly exceeds the exact RSRP; a cell with
+            // `ub <= second` can change neither best nor second (ties do
+            // not displace the incumbent), and its RSRP is never output.
+            let ub = eirp[i] - pl.loss_lb_db(d2) + shv;
+            if ub <= s {
+                continue;
+            }
+        }
+        let rsrp = eirp[i] - pl.loss_db(d2.sqrt()) + shv;
         match best {
-            None => best = Some((c.id, rsrp)),
+            None => best = Some((ids[i], rsrp)),
             Some((b_id, b)) if rsrp > b => {
                 second = Some((b_id, b));
-                best = Some((c.id, rsrp));
+                best = Some((ids[i], rsrp));
             }
             Some(_) => {
                 if second.is_none_or(|(_, s)| rsrp > s) {
-                    second = Some((c.id, rsrp));
+                    second = Some((ids[i], rsrp));
                 }
             }
         }
@@ -187,12 +256,24 @@ pub fn evaluate_layer(
 /// Wideband SINR (dB) for a candidate: signal over thermal floor plus the
 /// dominant interferer discounted by an activity factor.
 pub fn sinr_db(cand: &LayerCandidate, tech: Technology, noise_eff_dbm: f64, rng: &mut SmallRng) -> f64 {
+    sinr_db_with_noise_lin(cand, tech, 10f64.powf(noise_eff_dbm / 10.0), rng)
+}
+
+/// [`sinr_db`] with the noise floor already converted to linear —
+/// `10^(noise_eff_dbm/10)` is constant per (operator, technology,
+/// direction), so the per-tick path precomputes it (see
+/// [`crate::config::link_noise_lin`]).
+pub fn sinr_db_with_noise_lin(
+    cand: &LayerCandidate,
+    tech: Technology,
+    noise_lin: f64,
+    rng: &mut SmallRng,
+) -> f64 {
     let activity_db = match tech {
         // Beamformed mmWave neighbors rarely point at you.
         Technology::Nr5gMmWave => 12.0,
         _ => 3.0,
     };
-    let noise_lin = 10f64.powf(noise_eff_dbm / 10.0);
     let interf_lin = cand
         .second_rsrp_dbm
         .map_or(0.0, |s| 10f64.powf((s - activity_db) / 10.0));
@@ -340,7 +421,7 @@ mod tests {
     fn shadow_store_prunes_cells_left_behind() {
         let mut sh = ShadowStore::new(5);
         for i in 0..600 {
-            let _ = sh.shadow_db(CellId(i), Technology::Lte, i as f64 * 100.0);
+            let _ = sh.shadow_at(Technology::Lte, i as usize, CellId(i), i as f64 * 100.0);
         }
         for _ in 0..2_001 {
             sh.maybe_prune(1_000_000.0, 10_000.0);
@@ -352,10 +433,10 @@ mod tests {
     fn shadow_store_prune_keeps_window() {
         let mut sh = ShadowStore::new(5);
         for i in 0..600 {
-            let _ = sh.shadow_db(CellId(i), Technology::Lte, i as f64 * 100.0);
+            let _ = sh.shadow_at(Technology::Lte, i as usize, CellId(i), i as f64 * 100.0);
         }
         // Vehicle at 59.9 km; a 10 km window keeps cells touched at ≥ 49.9 km
-        // (inclusive): ids 499..=599.
+        // (inclusive): positions 499..=599.
         for _ in 0..2_001 {
             sh.maybe_prune(59_900.0, 10_000.0);
         }
@@ -375,7 +456,7 @@ mod tests {
                 // Query the cells "in range": one per km, ±6 km around us.
                 let center = (od / 1_000.0) as i64;
                 for c in (center - 6).max(0)..=center + 6 {
-                    vals.push(sh.shadow_db(CellId(c as u32), Technology::Lte, od));
+                    vals.push(sh.shadow_at(Technology::Lte, c as usize, CellId(c as u32), od));
                 }
                 sh.maybe_prune(od, keep_window_m);
             }
@@ -385,5 +466,20 @@ mod tests {
         let (unpruned, all) = run(f64::INFINITY);
         assert_eq!(pruned, unpruned);
         assert!(live < all, "prune never dropped anything ({live} vs {all})");
+    }
+
+    #[test]
+    fn shadow_at_deterministic_for_same_cell_identity() {
+        // The field realization depends on (UE seed, cell id) and the query
+        // distances — never on the layer position used to address it.
+        let mut a = ShadowStore::new(77);
+        let mut b = ShadowStore::new(77);
+        let mut d = 0.0;
+        for _ in 0..200 {
+            d += 5.0;
+            let va = a.shadow_at(Technology::Nr5gMid, 3, CellId(1234), d);
+            let vb = b.shadow_at(Technology::Nr5gMid, 9, CellId(1234), d);
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
     }
 }

@@ -18,13 +18,18 @@ use wheels_geo::trip::DriveState;
 use wheels_radio::band::Technology;
 use wheels_radio::bler::bler_from_sinr;
 
-use crate::cell::{CellDb, CellId};
-use crate::config::{link_config, LinkConfig};
+use wheels_radio::pathloss::PathLossModel;
+
+use crate::cell::{CellDb, CellId, WindowCursor};
+use crate::config::{link_config_ref, link_noise_lin, LinkConfig};
 use crate::handover::{draw_interruption_ms, A3Tracker, HandoverEvent, HandoverKind};
 use crate::load::{LoadParams, LoadProcess};
 use crate::operator::Operator;
 use crate::policy::{TrafficDemand, UpgradePolicy};
-use crate::selection::{evaluate_layer, sinr_db, sub_rng, LayerCandidate, ShadowStore};
+use crate::selection::{
+    evaluate_layer_span, layer_clutter, sinr_db_with_noise_lin, sub_rng, LayerCandidate,
+    ShadowStore,
+};
 use crate::tuning::OperatorTuning;
 use crate::Direction;
 
@@ -127,6 +132,12 @@ pub struct UeRadio {
     /// order (all 1.0 outside scenario overrides — an exact no-op).
     promo_scale: [f64; 5],
     shadows: ShadowStore,
+    /// Per-layer path-loss model, cached by effective clutter — rebuilt
+    /// only when the region (hence clutter) changes, not every tick.
+    pl_cache: [Option<(f64, PathLossModel)>; 5],
+    /// Per-layer audible-window cursor: slides forward with the (monotone)
+    /// odometer instead of binary-searching the layer every tick.
+    win: [WindowCursor; 5],
     rng: SmallRng,
     load_dl: LoadProcess,
     load_ul: LoadProcess,
@@ -160,6 +171,8 @@ impl UeRadio {
             policy: UpgradePolicy,
             promo_scale: tuning.promotion_scale,
             shadows: ShadowStore::new(seed),
+            pl_cache: [None; 5],
+            win: [WindowCursor::default(); 5],
             rng: sub_rng(seed, 11),
             load_dl: LoadProcess::new(params.load, seed ^ 0xD1),
             load_ul: LoadProcess::new(params.load, seed ^ 0xB7),
@@ -190,7 +203,10 @@ impl UeRadio {
         // Evaluate all layers.
         let mut cands: [Option<LayerCandidate>; 5] = [None; 5];
         for (i, tech) in Technology::ALL.iter().enumerate() {
-            cands[i] = evaluate_layer(&self.db, *tech, od, region, self.params.clutter_scale, &mut self.shadows);
+            let pl = self.pl_for(*tech, region);
+            let window = tech.nominal_range_m() * 1.6;
+            let range = self.win[i].range(self.db.layer(*tech).od_m(), od, window);
+            cands[i] = evaluate_layer_span(&self.db, *tech, range, od, &pl, &mut self.shadows);
         }
 
         // Policy evaluation: on schedule, on demand change, or if the
@@ -266,13 +282,25 @@ impl UeRadio {
             }
         }
 
-        // Horizontal mobility within the serving layer (A3).
+        // Horizontal mobility within the serving layer (A3). The serving
+        // RSRP consults the layer scan first: when the serving cell is the
+        // scan's runner-up its exact RSRP (same path loss, same shadowing
+        // sample — the field does not re-draw at an unchanged odometer) is
+        // already in hand, and when it is neither best nor second the
+        // `rsrp_of` result is remembered for the snapshot below.
+        let mut serving_rsrp_known: Option<(CellId, Option<f64>)> = None;
         if ho.is_none() {
             if let Some(s) = self.serving {
                 let layer_best = cands[tech_idx(s.tech)];
                 if let Some(best) = layer_best {
                     if best.cell != s.cell {
-                        let serving_rsrp = self.rsrp_of(s, od, region).unwrap_or(-130.0);
+                        let sr = if best.second_cell == Some(s.cell) {
+                            best.second_rsrp_dbm
+                        } else {
+                            self.rsrp_of(s, od, region)
+                        };
+                        serving_rsrp_known = Some((s.cell, sr));
+                        let serving_rsrp = sr.unwrap_or(-130.0);
                         if self
                             .a3
                             .observe(t_s, serving_rsrp, Some((best.cell, best.rsrp_dbm)))
@@ -293,7 +321,7 @@ impl UeRadio {
             }
         }
 
-        self.snapshot(t_s, drive, demand, &cands, ho)
+        self.snapshot(t_s, drive, demand, &cands, ho, serving_rsrp_known)
     }
 
     /// Pick the serving technology given layer availability and policy.
@@ -372,25 +400,34 @@ impl UeRadio {
         }
     }
 
+    /// Path-loss model for one layer in the current region, via the
+    /// per-layer cache (clutter only changes when the region does).
+    fn pl_for(&mut self, tech: Technology, region: RegionKind) -> PathLossModel {
+        let clut = layer_clutter(tech, region, self.params.clutter_scale);
+        let i = tech_idx(tech);
+        match self.pl_cache[i] {
+            Some((c, pl)) if c == clut => pl,
+            _ => {
+                let pl = PathLossModel::new(tech.band(), clut);
+                self.pl_cache[i] = Some((clut, pl));
+                pl
+            }
+        }
+    }
+
     /// RSRP of a specific serving cell (it may no longer be the best).
     fn rsrp_of(&mut self, s: Serving, od: f64, region: RegionKind) -> Option<f64> {
+        // Only called from `step` at the step's own odometer, so the
+        // layer's cursor (already advanced by the scan) does not move.
         let window = s.tech.nominal_range_m() * 1.6;
-        let cell = self
-            .db
-            .cells_near(s.tech, od, window)
-            .iter()
-            .find(|c| c.id == s.cell)
-            .copied()?;
-        let clut = if s.tech == Technology::Nr5gMmWave {
-            crate::selection::clutter(region) * 0.25 * self.params.clutter_scale
-        } else {
-            crate::selection::clutter(region) * self.params.clutter_scale
-        };
-        let pl = wheels_radio::pathloss::PathLossModel::new(s.tech.band(), clut);
-        Some(
-            cell.eirp_re_dbm - pl.loss_db(cell.distance_m(od))
-                + self.shadows.shadow_db(cell.id, s.tech, od),
-        )
+        let layer = self.db.layer(s.tech);
+        let range = self.win[tech_idx(s.tech)].range(layer.od_m(), od, window);
+        let pos = range.clone().find(|&i| layer.ids()[i] == s.cell)?;
+        let along = od - layer.od_m()[pos];
+        let dist = (along * along + layer.lat_sq_m2()[pos]).sqrt();
+        let eirp = layer.eirp_re_dbm()[pos];
+        let pl = self.pl_for(s.tech, region);
+        Some(eirp - pl.loss_db(dist) + self.shadows.shadow_at(s.tech, pos, s.cell, od))
     }
 
     fn snapshot(
@@ -400,6 +437,7 @@ impl UeRadio {
         demand: TrafficDemand,
         cands: &[Option<LayerCandidate>; 5],
         ho: Option<HandoverEvent>,
+        serving_rsrp_known: Option<(CellId, Option<f64>)>,
     ) -> LinkSnapshot {
         let in_handover = t_s < self.ho_until_s;
         let (tech, cell, rsrp, interferer) = match self.serving {
@@ -407,7 +445,15 @@ impl UeRadio {
                 let layer = cands[tech_idx(s.tech)];
                 let rsrp = match layer {
                     Some(b) if b.cell == s.cell => b.rsrp_dbm,
-                    _ => self.rsrp_of(s, drive.odometer_m, drive.region).unwrap_or(-125.0),
+                    Some(b) if b.second_cell == Some(s.cell) => {
+                        b.second_rsrp_dbm.unwrap_or(-125.0)
+                    }
+                    _ => match serving_rsrp_known {
+                        Some((c, r)) if c == s.cell => r.unwrap_or(-125.0),
+                        _ => self
+                            .rsrp_of(s, drive.odometer_m, drive.region)
+                            .unwrap_or(-125.0),
+                    },
                 };
                 let interf = match layer {
                     Some(b) if b.cell == s.cell => b.second_rsrp_dbm,
@@ -420,23 +466,25 @@ impl UeRadio {
         };
         let outage = self.serving.is_none();
 
-        let cfg_dl = link_config(self.op, tech, Direction::Downlink);
-        let cfg_ul = link_config(self.op, tech, Direction::Uplink);
+        let cfg_dl = link_config_ref(self.op, tech, Direction::Downlink);
+        let cfg_ul = link_config_ref(self.op, tech, Direction::Uplink);
         let cand = LayerCandidate {
             cell,
             rsrp_dbm: rsrp,
             second_rsrp_dbm: interferer,
             second_cell: None,
         };
-        let sinr_dl = sinr_db(&cand, tech, cfg_dl.noise_eff_dbm, &mut self.rng);
-        let sinr_ul = sinr_db(&cand, tech, cfg_ul.noise_eff_dbm, &mut self.rng) - 2.0;
+        let noise_dl = link_noise_lin(self.op, tech, Direction::Downlink);
+        let noise_ul = link_noise_lin(self.op, tech, Direction::Uplink);
+        let sinr_dl = sinr_db_with_noise_lin(&cand, tech, noise_dl, &mut self.rng);
+        let sinr_ul = sinr_db_with_noise_lin(&cand, tech, noise_ul, &mut self.rng) - 2.0;
 
         let bler = (bler_from_sinr(sinr_dl, drive.speed_mps)
             + self.rng.gen_range(-0.02..0.02))
         .clamp(0.0, 0.9);
 
-        let ca_dl = self.pick_cc(&cfg_dl, sinr_dl, matches!(demand, TrafficDemand::Backlog(Direction::Downlink)));
-        let ca_ul = self.pick_cc(&cfg_ul, sinr_ul, matches!(demand, TrafficDemand::Backlog(Direction::Uplink)));
+        let ca_dl = self.pick_cc(cfg_dl, sinr_dl, matches!(demand, TrafficDemand::Backlog(Direction::Downlink)));
+        let ca_ul = self.pick_cc(cfg_ul, sinr_ul, matches!(demand, TrafficDemand::Backlog(Direction::Uplink)));
 
         // Channel aging at speed: CQI staleness and beam mis-tracking cost
         // a slice of the scheduled rate beyond the BLER penalty — part of
