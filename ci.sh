@@ -93,4 +93,36 @@ cmp "$tmp/q-j1.txt" "$tmp/q-j4.txt"
 echo "campaign timings:"
 cat BENCH_campaign.json
 
+echo "== crash-resume byte gate (quarter scale, kill mid-run, jobs 1 and 4) =="
+# The crash-safety contract end to end, against the real binary: kill a
+# checkpointed run after 5 durable unit commits (exit 137), resume it,
+# and demand an export, integrity report, and table byte-identical to
+# the uninterrupted jobs-1 golden from the previous stage — at both
+# worker counts. No torn export may exist after the kill.
+for jobs in 1 4; do
+  ck="$tmp/ck-j$jobs"
+  set +e
+  ./target/release/repro --scale quarter --seed 11 --jobs "$jobs" \
+    --checkpoint-dir "$ck" --kill-after 5 \
+    --export "$tmp/crash-j$jobs.json" table1 > /dev/null 2> "$tmp/kill-j$jobs.err"
+  status=$?
+  set -e
+  [ "$status" -eq 137 ] || {
+    echo "jobs $jobs: expected kill exit 137, got $status"; exit 1;
+  }
+  [ ! -e "$tmp/crash-j$jobs.json" ] || {
+    echo "jobs $jobs: killed run left an export file"; exit 1;
+  }
+  ./target/release/repro --scale quarter --seed 11 --jobs "$jobs" \
+    --checkpoint-dir "$ck" --resume \
+    --export "$tmp/resume-j$jobs.json" table1 \
+    > "$tmp/resume-j$jobs.txt" 2> "$tmp/resume-j$jobs.err"
+  grep -q "resume:" "$tmp/resume-j$jobs.err" || {
+    echo "jobs $jobs: resume printed no accounting"; exit 1;
+  }
+  cmp "$tmp/resume-j$jobs.json" "$tmp/q-j1.json"
+  cmp "$tmp/resume-j$jobs.json.integrity.json" "$tmp/q-j1.json.integrity.json"
+  cmp "$tmp/resume-j$jobs.txt" "$tmp/q-j1.txt"
+done
+
 echo "CI OK"

@@ -12,12 +12,22 @@
 //! * `summary.txt` — Table-1-style statistics.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use wheels_bench::{run_campaign, ReproScale};
+use wheels_campaign::atomic_write;
 use wheels_campaign::stats::Table1;
 use wheels_xcal::logger::XcalLogger;
 use wheels_xcal::{drm, export};
+
+/// Atomic write or exit 1 — a dataset file either appears whole or not
+/// at all, even if this process dies mid-export.
+fn write_or_die(path: &Path, bytes: &[u8]) {
+    if let Err(e) = atomic_write(path, bytes) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,13 +65,13 @@ fn main() {
 
     // JSON.
     let json = export::to_json(&db).expect("serialize");
-    fs::write(out.join("dataset.json"), &json).expect("write json");
+    write_or_die(&out.join("dataset.json"), json.as_bytes());
     eprintln!("wrote dataset.json ({} MB)", json.len() / 1_000_000);
 
     // CSV.
     let mut csv = Vec::new();
     export::write_tput_csv(&db, &mut csv).expect("write csv");
-    fs::write(out.join("throughput.csv"), &csv).expect("write csv file");
+    write_or_die(&out.join("throughput.csv"), &csv);
     eprintln!("wrote throughput.csv ({} rows)", csv.iter().filter(|&&b| b == b'\n').count() - 1);
 
     // Binary .drm files, round-trip verified.
@@ -82,14 +92,14 @@ fn main() {
         // Disambiguate concurrent per-operator files with the test id.
         let name = format!("{:06}_{}", r.id, log.file_name);
         drm_bytes += bytes.len();
-        fs::write(out.join("drm").join(name), bytes).expect("write drm");
+        write_or_die(&out.join("drm").join(name), &bytes);
         n_drm += 1;
     }
     eprintln!("wrote {n_drm} .drm files ({} MB), all round-trip verified", drm_bytes / 1_000_000);
 
     // Summary.
     let t1 = Table1::compute(&db, campaign.plan().route());
-    fs::write(out.join("summary.txt"), t1.render()).expect("write summary");
+    write_or_die(&out.join("summary.txt"), t1.render().as_bytes());
     eprintln!("wrote summary.txt");
     println!("{}", t1.render());
 }

@@ -35,6 +35,19 @@
 //! degrades instead of aborting — unless `--fail-fast` is given, in which
 //! case a lost unit ends the run with a nonzero exit. With `--export
 //! FILE`, the per-unit integrity report lands in `FILE.integrity.json`.
+//!
+//! `--checkpoint-dir DIR` makes the campaign crash-safe: every completed
+//! work unit is appended (and fsynced) to `DIR/checkpoint.log` before the
+//! run moves on. If the process dies mid-campaign, rerun with `--resume`:
+//! valid checkpoints are restored, only missing or corrupt units are
+//! recomputed, and the output — export, integrity report, stdout — is
+//! byte-identical to an uninterrupted run. `--kill-after K` is the chaos
+//! hook behind the CI crash-resume gate: it aborts the run (exit 137,
+//! like a SIGKILL) after the K-th durable unit commit.
+//!
+//! Every file this binary writes (export JSON, integrity report, timings
+//! JSON, checkpoints) goes through an atomic temp-file + fsync + rename
+//! write — no crash can leave a torn output under a final name.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,11 +59,22 @@ use std::time::{Duration, Instant};
 use wheels_analysis::figures as figs;
 use wheels_analysis::AnalysisIndex;
 use wheels_bench::{
-    run_campaign_supervised, run_scenario_supervised, FaultOpts, ReproScale, EXPERIMENTS,
-    EXTENSIONS,
+    run_campaign_checkpointed, run_campaign_supervised, run_scenario_checkpointed,
+    run_scenario_supervised, FaultOpts, ReproScale, EXPERIMENTS, EXTENSIONS,
 };
 use wheels_campaign::stats::Table1;
-use wheels_campaign::{FaultProfile, ScenarioSpec};
+use wheels_campaign::{
+    atomic_write, CampaignError, CheckpointOptions, FaultProfile, ProcessKill, ScenarioSpec,
+};
+
+/// Write `bytes` to `path` atomically, or exit 1 with the error on
+/// stderr — an output file either appears whole or not at all.
+fn write_or_die(path: &str, bytes: &[u8]) {
+    if let Err(e) = atomic_write(std::path::Path::new(path), bytes) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
 
 /// Resolve `--scenario NAME|FILE.json`: registry names first, then a JSON
 /// spec file. The spec is validated either way.
@@ -138,6 +162,9 @@ fn main() {
     let mut timings_json: Option<String> = None;
     let mut faults = FaultOpts::default();
     let mut export: Option<String> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut kill_after: Option<usize> = None;
     let mut scenario: Option<ScenarioSpec> = None;
     let mut scenario_dump = false;
     let mut wanted: Vec<String> = Vec::new();
@@ -230,6 +257,23 @@ fn main() {
                     });
             }
             "--fail-fast" => faults.fail_fast = true,
+            "--checkpoint-dir" => {
+                i += 1;
+                checkpoint_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--checkpoint-dir needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--resume" => resume = true,
+            "--kill-after" => {
+                i += 1;
+                kill_after = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(
+                    || {
+                        eprintln!("--kill-after needs a unit count");
+                        std::process::exit(2);
+                    },
+                ));
+            }
             "--export" => {
                 i += 1;
                 export = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -254,12 +298,17 @@ fn main() {
         eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] \
                    [--fig-jobs N] [--timings] [--timings-json FILE] \
                    [--fault-profile none|paper|harsh] [--max-retries N] [--fail-fast] \
+                   [--checkpoint-dir DIR] [--resume] [--kill-after K] \
                    [--scenario NAME|FILE.json] [--scenario-dump] [--list] \
                    [--export FILE] <id...|all>");
         eprintln!("ids: {}", EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
     wanted.dedup();
+    if (resume || kill_after.is_some()) && checkpoint_dir.is_none() {
+        eprintln!("--resume and --kill-after need --checkpoint-dir DIR");
+        std::process::exit(2);
+    }
 
     eprintln!(
         "running campaign (scale {scale:?}, seed {seed}, jobs {jobs}, faults {}{})...",
@@ -270,17 +319,57 @@ fn main() {
             .unwrap_or_default()
     );
     let t0 = Instant::now(); // lint:allow(D3): phase timing, reported only
-    let run = match &scenario {
-        Some(spec) => run_scenario_supervised(spec, scale, seed, jobs, faults),
-        None => run_campaign_supervised(scale, seed, jobs, faults),
+    let run = match (&checkpoint_dir, &scenario) {
+        (Some(dir), spec) => {
+            let mut opts = if resume {
+                CheckpointOptions::resume(dir)
+            } else {
+                CheckpointOptions::fresh(dir)
+            };
+            if let Some(k) = kill_after {
+                opts = opts.with_kill(ProcessKill::after_units(k));
+            }
+            let run = match spec {
+                Some(spec) => run_scenario_checkpointed(spec, scale, seed, jobs, faults, &opts),
+                None => run_campaign_checkpointed(scale, seed, jobs, faults, &opts),
+            };
+            match run {
+                Err(CampaignError::Killed { committed }) => {
+                    // The chaos hook "killed the process": exit the way a
+                    // SIGKILLed process would, with the completed units
+                    // durable in the checkpoint log and nothing exported.
+                    eprintln!(
+                        "killed after {committed} durable unit commits \
+                         (checkpoints in {dir}; rerun with --resume)"
+                    );
+                    std::process::exit(137);
+                }
+                other => other.map_err(|e| e.to_string()),
+            }
+        }
+        (None, Some(spec)) => run_scenario_supervised(spec, scale, seed, jobs, faults)
+            .map_err(|e| e.to_string()),
+        (None, None) => {
+            run_campaign_supervised(scale, seed, jobs, faults).map_err(|e| e.to_string())
+        }
     };
     let (campaign, outcome) = match run {
         Ok(r) => r,
-        Err(abort) => {
-            eprintln!("{abort}");
+        Err(message) => {
+            eprintln!("{message}");
             std::process::exit(1);
         }
     };
+    if let Some(r) = &outcome.resume {
+        eprintln!(
+            "resume: {} units restored from checkpoints, {} recomputed \
+             ({} corrupt, {} foreign records rejected)",
+            r.restored_units, r.recomputed_units, r.corrupt_records, r.foreign_records
+        );
+        for note in &r.notes {
+            eprintln!("resume note: {note}");
+        }
+    }
     let db = outcome.db;
     let integrity = outcome.integrity;
     let campaign_elapsed = t0.elapsed();
@@ -301,11 +390,11 @@ fn main() {
     let mut export_elapsed = Duration::ZERO;
     if let Some(path) = export {
         let json = wheels_xcal::export::to_json(&db).expect("database serializes");
-        std::fs::write(&path, json).expect("write export file");
+        write_or_die(&path, json.as_bytes());
         let report =
             serde_json::to_string_pretty(&integrity).expect("integrity report serializes");
         let report_path = format!("{path}.integrity.json");
-        std::fs::write(&report_path, report).expect("write integrity report");
+        write_or_die(&report_path, report.as_bytes());
         eprintln!("dataset exported to {path}, integrity report to {report_path}");
         export_elapsed = t2.elapsed();
     }
@@ -363,7 +452,7 @@ fn main() {
             figures_elapsed.as_secs_f64(),
             export_elapsed.as_secs_f64(),
         );
-        std::fs::write(&path, json).expect("write timings json");
+        write_or_die(&path, json.as_bytes());
         eprintln!("timings written to {path}");
     }
 }

@@ -14,7 +14,8 @@
 #![warn(missing_docs)]
 
 use wheels_campaign::{
-    Campaign, CampaignAborted, CampaignConfig, CampaignOutcome, FaultProfile, ScenarioSpec,
+    Campaign, CampaignAborted, CampaignConfig, CampaignError, CampaignOutcome, CheckpointOptions,
+    FaultProfile, ScenarioSpec,
 };
 use wheels_xcal::database::ConsolidatedDb;
 
@@ -119,6 +120,48 @@ pub fn run_scenario_supervised(
     cfg.fail_fast = opts.fail_fast;
     let campaign = Campaign::from_spec(spec, cfg);
     let outcome = campaign.run_supervised_jobs(jobs)?;
+    Ok((campaign, outcome))
+}
+
+/// [`run_campaign_supervised`] with durable per-unit checkpoints (the
+/// direct paper-world path; see [`run_scenario_checkpointed`] for the
+/// declarative-spec variant and the full durability contract).
+pub fn run_campaign_checkpointed(
+    scale: ReproScale,
+    seed: u64,
+    jobs: usize,
+    fault_opts: FaultOpts,
+    opts: &CheckpointOptions,
+) -> Result<(Campaign, CampaignOutcome), CampaignError> {
+    let mut cfg = scale.config(seed);
+    cfg.fault_profile = fault_opts.profile;
+    cfg.max_retries = fault_opts.max_retries;
+    cfg.fail_fast = fault_opts.fail_fast;
+    let campaign = Campaign::new(cfg);
+    let outcome = campaign.run_checkpointed_jobs(jobs, opts)?;
+    Ok((campaign, outcome))
+}
+
+/// [`run_scenario_supervised`] with durable per-unit checkpoints — the
+/// crash-safe entry point behind `repro --checkpoint-dir` / `--resume`.
+/// A fresh run streams every completed unit to `opts.dir`; a resumed run
+/// restores valid records, recomputes the rest, and returns an outcome
+/// byte-identical to an uninterrupted run at the same `(spec, scale,
+/// seed)`, at any `jobs` count.
+pub fn run_scenario_checkpointed(
+    spec: &ScenarioSpec,
+    scale: ReproScale,
+    seed: u64,
+    jobs: usize,
+    fault_opts: FaultOpts,
+    opts: &CheckpointOptions,
+) -> Result<(Campaign, CampaignOutcome), CampaignError> {
+    let mut cfg = scale.config(seed);
+    cfg.fault_profile = fault_opts.profile;
+    cfg.max_retries = fault_opts.max_retries;
+    cfg.fail_fast = fault_opts.fail_fast;
+    let campaign = Campaign::from_spec(spec, cfg);
+    let outcome = campaign.run_checkpointed_jobs(jobs, opts)?;
     Ok((campaign, outcome))
 }
 

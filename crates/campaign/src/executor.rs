@@ -21,16 +21,19 @@
 //! on without it, the way the paper's dataset carries gaps instead of
 //! missing days.
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use wheels_netsim::faults::{Fault, FaultPlan};
+use wheels_netsim::faults::{Fault, FaultPlan, ProcessKill};
 use wheels_ran::operator::Operator;
 use wheels_xcal::database::{ConsolidatedDb, TestRecord};
 use wheels_xcal::handover_logger::PassiveLogger;
 
+use crate::checkpoint::CheckpointWriter;
 use crate::integrity::{UnitError, UnitReport, UnitStatus};
 use crate::runner::Campaign;
 use crate::static_tests::static_sites;
@@ -224,35 +227,151 @@ impl Campaign {
     /// slot left empty after execution becomes an explicit
     /// [`UnitError::MissingSlot`] loss, never a panic.
     pub(crate) fn execute_units(&self, units: &[WorkUnit], jobs: usize) -> Vec<UnitOutcome> {
+        match self.execute_units_hooked(units, jobs, BTreeMap::new(), None, None) {
+            Ok(outcomes) => outcomes,
+            // Interrupts only come from the checkpoint/kill hooks, and
+            // neither is installed on this path.
+            Err(i) => unreachable!("unhooked execution interrupted: {i}"),
+        }
+    }
+
+    /// [`Campaign::execute_units`] with the durability hooks installed.
+    ///
+    /// `restored` holds outcomes recovered from a checkpoint log, keyed by
+    /// [`WorkUnit::fault_words`]: matching units are *not* re-run (and not
+    /// re-committed — their records are already durable). Every newly
+    /// computed outcome is committed to `checkpoint` — written and fsynced
+    /// — **before** it counts as done; a commit failure interrupts the run
+    /// with [`ExecInterrupt::Io`] rather than silently continuing with a
+    /// checkpoint stream that lies. `kill` is the chaos hook: it observes
+    /// every durable commit and, when it fires, the run stops with
+    /// [`ExecInterrupt::Killed`] exactly as if the process had died —
+    /// except in-process, so tests can sweep kill points deterministically.
+    ///
+    /// Outcome order is canonical unit order regardless of which units
+    /// were restored and which workers ran the rest.
+    pub(crate) fn execute_units_hooked(
+        &self,
+        units: &[WorkUnit],
+        jobs: usize,
+        mut restored: BTreeMap<[u64; 3], UnitOutcome>,
+        checkpoint: Option<&CheckpointWriter>,
+        kill: Option<&ProcessKill>,
+    ) -> Result<Vec<UnitOutcome>, ExecInterrupt> {
         let plan = FaultPlan::new(self.cfg.seed, self.cfg.fault_profile);
+        let commit = |unit: &WorkUnit, outcome: &UnitOutcome| -> Result<(), ExecInterrupt> {
+            if let Some(w) = checkpoint {
+                w.commit(unit, outcome).map_err(|e| ExecInterrupt::Io {
+                    context: format!("checkpoint commit for {}", unit.label()),
+                    error: e.to_string(),
+                })?;
+            }
+            if let Some(k) = kill {
+                if k.on_commit() {
+                    return Err(ExecInterrupt::Killed {
+                        committed: k.committed(),
+                    });
+                }
+            }
+            Ok(())
+        };
         if jobs <= 1 || units.len() <= 1 {
-            return units
-                .iter()
-                .map(|u| self.run_unit_supervised(u, &plan))
-                .collect();
+            let mut out = Vec::with_capacity(units.len());
+            for unit in units {
+                if let Some(outcome) = restored.remove(&unit.fault_words()) {
+                    out.push(outcome);
+                    continue;
+                }
+                let outcome = self.run_unit_supervised(unit, &plan);
+                commit(unit, &outcome)?;
+                out.push(outcome);
+            }
+            return Ok(out);
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<UnitOutcome>>> =
             units.iter().map(|_| Mutex::new(None)).collect();
+        for (i, unit) in units.iter().enumerate() {
+            if let Some(outcome) = restored.remove(&unit.fault_words()) {
+                *slots[i].lock() = Some(outcome);
+            }
+        }
+        let dead = AtomicBool::new(false);
+        let interrupt: Mutex<Option<ExecInterrupt>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..jobs.min(units.len()) {
                 scope.spawn(|| loop {
+                    if dead.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(unit) = units.get(i) else { break };
-                    *slots[i].lock() = Some(self.run_unit_supervised(unit, &plan));
+                    if slots[i].lock().is_some() {
+                        continue; // restored from a checkpoint
+                    }
+                    let outcome = self.run_unit_supervised(unit, &plan);
+                    let commit_result = commit(unit, &outcome);
+                    // The outcome is stored either way: on a kill it was
+                    // already durably committed, and resume must see it.
+                    *slots[i].lock() = Some(outcome);
+                    if let Err(e) = commit_result {
+                        let mut g = interrupt.lock();
+                        if g.is_none() {
+                            *g = Some(e);
+                        }
+                        dead.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 });
             }
         });
-        slots
+        if let Some(i) = interrupt.into_inner() {
+            return Err(i);
+        }
+        Ok(slots
             .into_iter()
             .zip(units)
             .map(|(slot, unit)| match slot.into_inner() {
                 Some(outcome) => outcome,
                 None => UnitOutcome::missing_slot(unit.label()),
             })
-            .collect()
+            .collect())
     }
 }
+
+/// Why a hooked execution stopped before finishing every unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecInterrupt {
+    /// A checkpoint commit could not be made durable; continuing would
+    /// leave units that *look* done but would vanish on a crash.
+    Io {
+        /// What the executor was doing, e.g. the unit being committed.
+        context: String,
+        /// The underlying I/O error, stringified (keeps this `Clone`).
+        error: String,
+    },
+    /// The [`ProcessKill`] chaos hook fired: the run is dead, exactly as
+    /// if the OS had killed it, after `committed` durable unit commits.
+    Killed {
+        /// Durable commits observed when the hook fired.
+        committed: usize,
+    },
+}
+
+impl fmt::Display for ExecInterrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecInterrupt::Io { context, error } => {
+                write!(f, "checkpoint I/O failure ({context}): {error}")
+            }
+            ExecInterrupt::Killed { committed } => {
+                write!(f, "process killed after {committed} durable unit commits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecInterrupt {}
 
 /// Best-effort text of a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

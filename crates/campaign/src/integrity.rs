@@ -135,9 +135,35 @@ impl UnitReport {
     }
 }
 
+/// What a `--resume` run found in the checkpoint log: how much work it
+/// restored versus recomputed, and how many records it had to reject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumeReport {
+    /// Units restored from valid checkpoint records (not re-run).
+    pub restored_units: usize,
+    /// Units recomputed because no valid record covered them.
+    pub recomputed_units: usize,
+    /// Checkpoint records rejected as corrupt (torn frame, digest
+    /// mismatch, undecodable payload); their units were recomputed.
+    pub corrupt_records: usize,
+    /// Byte-valid records stamped with a different world/seed/scale;
+    /// ignored.
+    pub foreign_records: usize,
+    /// One human-readable note per rejected record, scan order.
+    pub notes: Vec<String>,
+}
+
+impl ResumeReport {
+    /// True if the scan rejected anything — the signal worth surfacing in
+    /// the exported integrity report.
+    pub fn saw_damage(&self) -> bool {
+        self.corrupt_records > 0 || self.foreign_records > 0
+    }
+}
+
 /// The campaign-wide completeness report, one entry per scheduled unit in
 /// canonical order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntegrityReport {
     /// Fault profile the campaign ran under.
     pub profile: String,
@@ -147,6 +173,44 @@ pub struct IntegrityReport {
     pub max_retries: u32,
     /// Per-unit reports, in canonical schedule order.
     pub units: Vec<UnitReport>,
+    /// Resume accounting, present **only** when a `--resume` run rejected
+    /// corrupt or foreign checkpoint records. A clean resume leaves this
+    /// `None` so its exported report stays byte-identical to an
+    /// uninterrupted run's — the determinism gates `cmp` these files.
+    pub resume: Option<ResumeReport>,
+}
+
+// Hand-written (de)serialization: the vendored serde_derive has no
+// `#[serde(skip_serializing_if)]`, and the `resume` field must vanish
+// from the JSON entirely when `None` — emitting `"resume": null` would
+// break byte-compatibility with every report written before this field
+// existed and with the uninterrupted-run goldens.
+impl Serialize for IntegrityReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("profile".to_string(), self.profile.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("max_retries".to_string(), self.max_retries.to_value()),
+            ("units".to_string(), self.units.to_value()),
+        ];
+        if let Some(resume) = &self.resume {
+            fields.push(("resume".to_string(), resume.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for IntegrityReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(IntegrityReport {
+            profile: serde::de::field(v, "profile")?,
+            seed: serde::de::field(v, "seed")?,
+            max_retries: serde::de::field(v, "max_retries")?,
+            units: serde::de::field(v, "units")?,
+            // Missing deserializes as `None`: pre-checkpoint reports load.
+            resume: serde::de::field(v, "resume")?,
+        })
+    }
 }
 
 impl IntegrityReport {
@@ -220,6 +284,7 @@ mod tests {
                 unit(UnitStatus::Lost, 0, 3),
                 unit(UnitStatus::Ok, 0, 2),
             ],
+            resume: None,
         };
         assert_eq!(r.ok_count(), 2);
         assert_eq!(r.degraded_count(), 1);
@@ -254,9 +319,48 @@ mod tests {
             seed: 7,
             max_retries: 1,
             units: vec![unit(UnitStatus::Degraded, 2, 2)],
+            resume: None,
         };
         let j = serde_json::to_string_pretty(&r).unwrap();
         let back: IntegrityReport = serde_json::from_str(&j).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn resume_field_is_absent_when_none_and_roundtrips_when_some() {
+        let mut r = IntegrityReport {
+            profile: "none".into(),
+            seed: 11,
+            max_retries: 2,
+            units: vec![unit(UnitStatus::Ok, 0, 1)],
+            resume: None,
+        };
+        let clean = serde_json::to_string_pretty(&r).unwrap();
+        assert!(
+            !clean.contains("resume"),
+            "clean reports must not change shape: {clean}"
+        );
+
+        r.resume = Some(ResumeReport {
+            restored_units: 3,
+            recomputed_units: 2,
+            corrupt_records: 1,
+            foreign_records: 0,
+            notes: vec!["digest mismatch at byte 72".into()],
+        });
+        assert!(r.resume.as_ref().unwrap().saw_damage());
+        let j = serde_json::to_string_pretty(&r).unwrap();
+        assert!(j.contains("\"corrupt_records\": 1"), "{j}");
+        let back: IntegrityReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_checkpoint_reports_still_deserialize() {
+        // A report written before the `resume` field existed.
+        let legacy = r#"{"profile":"paper","seed":7,"max_retries":1,"units":[]}"#;
+        let back: IntegrityReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.resume, None);
+        assert_eq!(back.seed, 7);
     }
 }

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod executor;
@@ -32,10 +33,13 @@ pub mod scenario;
 pub mod static_tests;
 pub mod stats;
 
+pub use checkpoint::{atomic_write, CheckpointKey, CheckpointWriter, LoadedCheckpoints};
 pub use config::CampaignConfig;
-pub use executor::{merge_shard_slots, merge_shards, Shard, WorkUnit};
-pub use integrity::{IntegrityReport, UnitError, UnitReport, UnitStatus};
-pub use runner::{Campaign, CampaignAborted, CampaignOutcome};
+pub use executor::{merge_shard_slots, merge_shards, ExecInterrupt, Shard, WorkUnit};
+pub use integrity::{IntegrityReport, ResumeReport, UnitError, UnitReport, UnitStatus};
+pub use runner::{
+    Campaign, CampaignAborted, CampaignError, CampaignOutcome, CheckpointOptions,
+};
 pub use scenario::{ScenarioSpec, ScenarioWorld};
 pub use stats::Table1;
-pub use wheels_netsim::faults::FaultProfile;
+pub use wheels_netsim::faults::{FaultProfile, ProcessKill};

@@ -30,11 +30,13 @@ use wheels_xcal::sync::{AppLog, AppStampFormat};
 
 use wheels_netsim::rng;
 
+use crate::checkpoint::{self, CheckpointKey, CheckpointWriter, LoadedCheckpoints};
 use crate::config::CampaignConfig;
 use crate::driver::{demand_for, tcp_base_rtt_s, AppLinkAdapter, LinkDriver};
-use crate::executor::{merge_shard_slots, Shard, WorkUnit};
-use crate::integrity::{IntegrityReport, UnitStatus};
+use crate::executor::{merge_shard_slots, ExecInterrupt, Shard, UnitOutcome, WorkUnit};
+use crate::integrity::{IntegrityReport, ResumeReport, UnitStatus};
 use crate::scenario::{Schedule, ScenarioSpec};
+use wheels_netsim::faults::ProcessKill;
 
 /// One phone: a UE plus its RTT model.
 struct Phone {
@@ -67,6 +69,13 @@ pub struct CampaignOutcome {
     pub db: ConsolidatedDb,
     /// Per-unit completeness accounting, canonical schedule order.
     pub integrity: IntegrityReport,
+    /// Resume accounting when the run came from
+    /// [`Campaign::run_checkpointed_jobs`] with `resume` set: how many
+    /// units were restored versus recomputed and what the checkpoint scan
+    /// rejected. `None` for non-checkpointed and fresh runs. (The copy in
+    /// [`IntegrityReport::resume`] is exported only when the scan saw
+    /// damage; this one is always present on resumed runs, for the CLI.)
+    pub resume: Option<ResumeReport>,
 }
 
 /// A fail-fast abort: some unit was lost and
@@ -90,6 +99,91 @@ impl std::fmt::Display for CampaignAborted {
 }
 
 impl std::error::Error for CampaignAborted {}
+
+/// How [`Campaign::run_checkpointed_jobs`] should treat the checkpoint
+/// directory.
+#[derive(Debug)]
+pub struct CheckpointOptions {
+    /// Directory holding the checkpoint log (created if missing).
+    pub dir: std::path::PathBuf,
+    /// Restore valid records before running (`false` = fresh run; any
+    /// existing log is truncated).
+    pub resume: bool,
+    /// Chaos hook: simulate a process death after the k-th durable unit
+    /// commit. Test/CI machinery — `None` in normal operation.
+    pub kill: Option<ProcessKill>,
+}
+
+impl CheckpointOptions {
+    /// A fresh checkpointed run writing to `dir`.
+    pub fn fresh(dir: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointOptions {
+            dir: dir.into(),
+            resume: false,
+            kill: None,
+        }
+    }
+
+    /// Resume from (and keep appending to) the log in `dir`.
+    pub fn resume(dir: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointOptions {
+            dir: dir.into(),
+            resume: true,
+            kill: None,
+        }
+    }
+
+    /// Install the kill-point chaos hook.
+    pub fn with_kill(mut self, kill: ProcessKill) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+}
+
+/// Why a checkpointed campaign returned no outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// Fail-fast abort: a unit was lost (see [`CampaignAborted`]).
+    Aborted(CampaignAborted),
+    /// A checkpoint or output write could not be made durable.
+    Io {
+        /// What was being written.
+        context: String,
+        /// The underlying I/O error, stringified.
+        error: String,
+    },
+    /// The [`ProcessKill`] chaos hook fired mid-run. Completed units are
+    /// durable in the checkpoint log; resume to finish the campaign.
+    Killed {
+        /// Durable unit commits when the hook fired.
+        committed: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Aborted(a) => a.fmt(f),
+            CampaignError::Io { context, error } => {
+                write!(f, "campaign I/O failure ({context}): {error}")
+            }
+            CampaignError::Killed { committed } => {
+                write!(
+                    f,
+                    "campaign killed after {committed} durable unit commits (resume to finish)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CampaignAborted> for CampaignError {
+    fn from(a: CampaignAborted) -> Self {
+        CampaignError::Aborted(a)
+    }
+}
 
 /// Optional side products of a run (for log-sync verification).
 #[derive(Debug, Default)]
@@ -115,6 +209,10 @@ pub struct Campaign {
     pub(crate) dbs: Vec<Arc<CellDb>>,
     pub(crate) selector: ServerSelector,
     pub(crate) sched: Schedule,
+    /// Hash of the world definition (scenario spec + output-affecting
+    /// config), stamped on every checkpoint record — see
+    /// [`checkpoint::world_hash`].
+    pub(crate) world_hash: u64,
 }
 
 impl Campaign {
@@ -127,6 +225,7 @@ impl Campaign {
             .into_iter()
             .map(Arc::new)
             .collect();
+        let world_hash = checkpoint::world_hash(&ScenarioSpec::paper(), &cfg);
         Campaign {
             cfg,
             plan,
@@ -135,6 +234,7 @@ impl Campaign {
             dbs,
             selector: ServerSelector::new(),
             sched: Schedule::paper(),
+            world_hash,
         }
     }
 
@@ -152,6 +252,7 @@ impl Campaign {
             .into_iter()
             .map(Arc::new)
             .collect();
+        let world_hash = checkpoint::world_hash(spec, &cfg);
         Campaign {
             cfg,
             plan: world.plan,
@@ -160,6 +261,7 @@ impl Campaign {
             dbs,
             selector: world.selector,
             sched: world.schedule,
+            world_hash,
         }
     }
 
@@ -252,6 +354,13 @@ impl Campaign {
     fn execute_and_merge(&self, jobs: usize) -> CampaignOutcome {
         let units = self.plan_units();
         let outcomes = self.execute_units(&units, jobs);
+        self.fold_outcomes(outcomes)
+    }
+
+    /// Fold per-unit outcomes (canonical order) into the merged dataset
+    /// and integrity report. Restored and freshly computed outcomes fold
+    /// identically — this is where resume regains byte-identity.
+    fn fold_outcomes(&self, outcomes: Vec<UnitOutcome>) -> CampaignOutcome {
         let mut slots = Vec::with_capacity(outcomes.len());
         let mut reports = Vec::with_capacity(outcomes.len());
         for o in outcomes {
@@ -265,8 +374,119 @@ impl Campaign {
                 seed: self.cfg.seed,
                 max_retries: self.cfg.max_retries,
                 units: reports,
+                resume: None,
             },
+            resume: None,
         }
+    }
+
+    /// The identity stamped on this campaign's checkpoint records: a
+    /// record is restorable only if its world hash, seed, and scale all
+    /// match — anything else is another run's data.
+    pub fn checkpoint_key(&self) -> CheckpointKey {
+        CheckpointKey {
+            world_hash: self.world_hash,
+            seed: self.cfg.seed,
+            scale_bits: self.cfg.scale.to_bits(),
+        }
+    }
+
+    /// [`Campaign::run_supervised_jobs`] with durable per-unit
+    /// checkpoints — the crash-safe way to run a long campaign.
+    ///
+    /// Every completed unit is appended to
+    /// `opts.dir/`[`checkpoint::LOG_NAME`] and fsynced before the next
+    /// unit starts counting; if the process dies (or the
+    /// [`CheckpointOptions::kill`] chaos hook fires), a later run with
+    /// [`CheckpointOptions::resume`] set restores every valid record,
+    /// recomputes only what's missing or corrupt, and returns a
+    /// [`CampaignOutcome`] **byte-identical** to an uninterrupted run —
+    /// unit outputs are pure functions of `(config, unit)`, so where the
+    /// work happened (before the crash, after it, on which worker) leaves
+    /// no trace in the dataset.
+    ///
+    /// Fresh runs (`resume == false`) truncate any existing log: a
+    /// non-resume run must never inherit another run's records. Resumed
+    /// runs first compact the log — corrupt, foreign, and torn-tail bytes
+    /// are healed out (atomically) so newly appended records stay
+    /// reachable. Scan damage is accounted in the returned
+    /// [`CampaignOutcome::resume`] and, when records were actually
+    /// rejected, in [`IntegrityReport::resume`].
+    pub fn run_checkpointed_jobs(
+        &self,
+        jobs: usize,
+        opts: &CheckpointOptions,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        let io_err = |context: String| {
+            move |e: std::io::Error| CampaignError::Io {
+                context,
+                error: e.to_string(),
+            }
+        };
+        let key = self.checkpoint_key();
+        let units = self.plan_units();
+        let mut restored: std::collections::BTreeMap<[u64; 3], UnitOutcome> =
+            std::collections::BTreeMap::new();
+        let mut resume_report = None;
+        if opts.resume {
+            let loaded = LoadedCheckpoints::load(&opts.dir, key)
+                .map_err(io_err(format!("scanning checkpoints in {}", opts.dir.display())))?;
+            loaded
+                .compact_to(&opts.dir)
+                .map_err(io_err(format!("compacting checkpoint log in {}", opts.dir.display())))?;
+            let scheduled: std::collections::BTreeSet<[u64; 3]> =
+                units.iter().map(|u| u.fault_words()).collect();
+            let mut foreign = loaded.foreign_records;
+            let mut notes = loaded.notes;
+            for (words, ck) in loaded.units {
+                if scheduled.contains(&words) {
+                    restored.insert(words, ck.into_outcome());
+                } else {
+                    // Matching key but no such unit: treat as foreign.
+                    foreign += 1;
+                    notes.push(format!("record for unscheduled unit {words:?}; ignored"));
+                }
+            }
+            resume_report = Some(ResumeReport {
+                restored_units: restored.len(),
+                recomputed_units: units.len() - restored.len(),
+                corrupt_records: loaded.corrupt_records,
+                foreign_records: foreign,
+                notes,
+            });
+        }
+        let writer = CheckpointWriter::open(&opts.dir, key, !opts.resume)
+            .map_err(io_err(format!("opening checkpoint log in {}", opts.dir.display())))?;
+        let outcomes = self
+            .execute_units_hooked(&units, jobs, restored, Some(&writer), opts.kill.as_ref())
+            .map_err(|i| match i {
+                ExecInterrupt::Io { context, error } => CampaignError::Io { context, error },
+                ExecInterrupt::Killed { committed } => CampaignError::Killed { committed },
+            })?;
+        let mut outcome = self.fold_outcomes(outcomes);
+        if let Some(r) = resume_report {
+            // Export the accounting only when the scan rejected records:
+            // a clean resume's integrity report must stay byte-identical
+            // to the uninterrupted run's (CI `cmp`s them).
+            if r.saw_damage() {
+                outcome.integrity.resume = Some(r.clone());
+            }
+            outcome.resume = Some(r);
+        }
+        if self.cfg.fail_fast {
+            if let Some(u) = outcome
+                .integrity
+                .units
+                .iter()
+                .find(|u| u.status == UnitStatus::Lost)
+            {
+                return Err(CampaignError::Aborted(CampaignAborted {
+                    unit: u.unit.clone(),
+                    error: u.error.clone().unwrap_or_else(|| "unknown".into()),
+                }));
+            }
+        }
+        Ok(outcome)
     }
 
     /// Execute and also reconstruct the raw XCAL/app logs for log-sync

@@ -1,0 +1,23 @@
+// The one legitimate raw create: the staging file inside an atomic-write
+// helper, fsynced and renamed before anyone can observe it. Reads and
+// directory operations are not flagged at all.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        // lint:allow(D6): staging file — fsynced and renamed before visible
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+pub fn load(path: &Path) -> std::io::Result<String> {
+    fs::create_dir_all(path.parent().unwrap_or(Path::new(".")))?;
+    fs::read_to_string(path)
+}

@@ -1,0 +1,15 @@
+// D6: bare output writes — a crash between create and the final flush
+// leaves a torn file under its final name.
+
+use std::fs;
+use std::fs::File;
+use std::io::Write;
+
+pub fn export_json(path: &str, json: &str) {
+    fs::write(path, json).expect("write export");
+}
+
+pub fn export_report(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)
+}

@@ -16,6 +16,7 @@
 //! | D3   | ambient nondeterminism: wall clocks, OS entropy, env vars   |
 //! | D4   | RNG construction outside `netsim::rng` stream derivation    |
 //! | D5   | `partial_cmp(..).unwrap()/.expect(..)` NaN panics           |
+//! | D6   | bare `fs::write`/`File::create` (torn-output hazard)        |
 //!
 //! Suppression is an adjacent `// lint:allow(Dn): <reason>` comment —
 //! same line, or a comment-only line directly above the offending code.
@@ -40,11 +41,14 @@ pub enum Rule {
     D4,
     /// `partial_cmp` unwrap/expect (NaN panic).
     D5,
+    /// Bare `fs::write`/`File::create` in non-test code: a crash
+    /// mid-write leaves a torn file under its final name.
+    D6,
 }
 
 impl Rule {
     /// All rules, report order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
 
     /// The rule's identifier, as written in `lint:allow(..)`.
     pub fn id(self) -> &'static str {
@@ -54,6 +58,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
         }
     }
 

@@ -1,4 +1,4 @@
-//! The determinism rule set, D1–D5.
+//! The determinism rule set, D1–D6.
 //!
 //! Rules are token matchers over lexed code (see [`crate::lexer`]): no
 //! type inference, no name resolution beyond `use`-import tracking. The
@@ -59,6 +59,26 @@ fn token_positions(hay: &str, tok: &str) -> Vec<usize> {
 
 fn has_token(hay: &str, tok: &str) -> bool {
     !token_positions(hay, tok).is_empty()
+}
+
+/// `true` if `hay` contains path-expression `pat` (e.g. `fs::write`) as a
+/// standalone token sequence: the char before may be `:` (a longer path,
+/// `std::fs::write`) but not an identifier char (`dfs::write`), and the
+/// char after must end the identifier (`fs::write_at` is a different fn).
+fn has_path_token(hay: &str, pat: &str) -> bool {
+    hay.match_indices(pat).any(|(p, _)| {
+        let before_ok = p == 0
+            || !hay[..p]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = p + pat.len();
+        let after_ok = !hay[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        before_ok && after_ok
+    })
 }
 
 /// Comparator-taking methods whose key function must be total (D1).
@@ -220,6 +240,26 @@ pub fn run(ctx: &FileContext<'_>) -> Vec<RawFinding> {
                 break;
             }
         }
+
+        // D6: bare output writes. A process death between `create` and
+        // the final flush leaves a torn file under its *final* name —
+        // exactly what downstream `cmp` gates and resumed runs must
+        // never observe.
+        for pat in ["fs::write", "File::create"] {
+            if has_path_token(code, pat) {
+                findings.push(RawFinding {
+                    line,
+                    rule: Rule::D6,
+                    message: format!(
+                        "bare `{pat}` can leave a torn output if the process \
+                         dies mid-write; route it through \
+                         `wheels_campaign::checkpoint::atomic_write` \
+                         (temp file + fsync + rename)"
+                    ),
+                });
+                break;
+            }
+        }
     }
 
     findings.sort_by_key(|f| (f.line, f.rule as u8));
@@ -350,6 +390,37 @@ mod tests {
     #[test]
     fn d4_token_is_word_bounded() {
         let f = lint("let x = my_seed_from_u64_table[0];");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d6_fires_on_bare_write_and_create() {
+        let f = lint("std::fs::write(&path, json).expect(\"write\");\nlet f = File::create(&tmp)?;");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::D6));
+    }
+
+    #[test]
+    fn d6_token_boundaries_hold() {
+        // Different identifiers and different functions must not match.
+        let f = lint("let a = dfs::write();\nlet b = fs::write_at();\nlet c = MyFile::create();");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d6_ignores_reads_and_dir_ops() {
+        let f = lint("let s = fs::read_to_string(p)?;\nfs::create_dir_all(dir)?;\nlet f = File::open(p)?;");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d6_is_test_exempt() {
+        let lines = lexer::strip("fs::write(&golden, bytes).unwrap();");
+        let code: Vec<String> = lines.iter().map(|l| l.code.clone()).collect();
+        let f = run(&FileContext {
+            code: &code,
+            is_test: &[true],
+        });
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -219,6 +219,58 @@ impl FaultPlan {
     }
 }
 
+/// In-process chaos hook for crash-safety testing: "kills the process"
+/// after a configured number of durable checkpoint commits.
+///
+/// The supervised executor calls [`ProcessKill::on_commit`] once per
+/// work-unit checkpoint record it has made durable (written + fsynced).
+/// When the count reaches the kill point the executor stops scheduling
+/// and the run ends as killed — the in-process analogue of a SIGKILL
+/// landing right after the k-th record hit the disk. The repro binary
+/// additionally converts the kill into a real nonzero process exit, so
+/// CI can rehearse an actual crash + `--resume` cycle.
+///
+/// Deterministic in the only sense that matters for crash recovery: the
+/// *set* of committed units may vary with worker count, but resume must
+/// reproduce the golden bytes from **any** committed subset — which is
+/// exactly the property the kill-point sweep tests pin down.
+#[derive(Debug)]
+pub struct ProcessKill {
+    after_units: usize,
+    committed: std::sync::atomic::AtomicUsize,
+}
+
+impl ProcessKill {
+    /// Kill the run once `k` unit checkpoints have been committed.
+    /// `k` larger than the schedule means the run completes normally.
+    pub fn after_units(k: usize) -> Self {
+        ProcessKill {
+            after_units: k,
+            committed: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Record one durable commit; `true` once the kill point is reached
+    /// (and for every commit after it — dead stays dead).
+    pub fn on_commit(&self) -> bool {
+        let n = self
+            .committed
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1;
+        n >= self.after_units
+    }
+
+    /// Commits recorded so far.
+    pub fn committed(&self) -> usize {
+        self.committed.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// The configured kill point.
+    pub fn kill_point(&self) -> usize {
+        self.after_units
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +367,23 @@ mod tests {
                 != plan.fault_for(&[1, u], 1).map(|f| f.label())
         });
         assert!(differs);
+    }
+
+    #[test]
+    fn process_kill_fires_at_and_after_the_kill_point() {
+        let k = ProcessKill::after_units(3);
+        assert!(!k.on_commit());
+        assert!(!k.on_commit());
+        assert!(k.on_commit(), "third commit reaches the kill point");
+        assert!(k.on_commit(), "dead stays dead");
+        assert_eq!(k.committed(), 4);
+        assert_eq!(k.kill_point(), 3);
+    }
+
+    #[test]
+    fn process_kill_zero_fires_immediately() {
+        let k = ProcessKill::after_units(0);
+        assert!(k.on_commit(), "kill point 0 can never commit a unit");
     }
 
     #[test]
