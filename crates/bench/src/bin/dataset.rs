@@ -15,8 +15,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use wheels_bench::{run_campaign, ReproScale};
-use wheels_campaign::atomic_write;
 use wheels_campaign::stats::Table1;
+use wheels_campaign::{atomic_write, atomic_write_with, write_all_chunked};
 use wheels_xcal::logger::XcalLogger;
 use wheels_xcal::{drm, export};
 
@@ -63,16 +63,35 @@ fn main() {
     let (campaign, db) = run_campaign(scale, seed);
     fs::create_dir_all(out.join("drm")).expect("create output directory");
 
-    // JSON.
-    let json = export::to_json(&db).expect("serialize");
-    write_or_die(&out.join("dataset.json"), json.as_bytes());
-    eprintln!("wrote dataset.json ({} MB)", json.len() / 1_000_000);
+    // JSON, streamed straight into the atomic temp file — no whole-file
+    // buffer even at full scale.
+    let json_path = out.join("dataset.json");
+    let parts = export::to_json_parts(&db, 1);
+    let json_bytes: usize = parts.iter().map(String::len).sum();
+    if let Err(e) = atomic_write_with(&json_path, |w| {
+        for p in &parts {
+            write_all_chunked(w, p.as_bytes())?;
+        }
+        Ok(())
+    }) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote dataset.json ({} MB)", json_bytes / 1_000_000);
 
-    // CSV.
-    let mut csv = Vec::new();
-    export::write_tput_csv(&db, &mut csv).expect("write csv");
-    write_or_die(&out.join("throughput.csv"), &csv);
-    eprintln!("wrote throughput.csv ({} rows)", csv.iter().filter(|&&b| b == b'\n').count() - 1);
+    // CSV, same streaming discipline (write_tput_csv buffers internally).
+    let csv_path = out.join("throughput.csv");
+    if let Err(e) = atomic_write_with(&csv_path, |w| export::write_tput_csv(&db, w)) {
+        eprintln!("cannot write {}: {e}", csv_path.display());
+        std::process::exit(1);
+    }
+    let rows = db
+        .records
+        .iter()
+        .flat_map(|r| &r.kpi)
+        .filter(|k| k.tput_mbps.is_some())
+        .count();
+    eprintln!("wrote throughput.csv ({rows} rows)");
 
     // Binary .drm files, round-trip verified.
     let mut n_drm = 0usize;

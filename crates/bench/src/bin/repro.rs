@@ -21,7 +21,8 @@
 //! and exits; `--list` prints every artifact id and registered scenario.
 //!
 //! `--jobs N` runs the campaign's work units on N worker threads;
-//! `--fig-jobs N` fans figure/table rendering out the same way. The
+//! `--fig-jobs N` fans figure/table rendering out the same way, and
+//! `--export-jobs N` shards dataset serialization across N workers. The
 //! dataset (and every figure) is byte-identical to the sequential run at
 //! any job count.
 //!
@@ -64,13 +65,29 @@ use wheels_bench::{
 };
 use wheels_campaign::stats::Table1;
 use wheels_campaign::{
-    atomic_write, CampaignError, CheckpointOptions, FaultProfile, ProcessKill, ScenarioSpec,
+    atomic_write, atomic_write_with, write_all_chunked, CampaignError, CheckpointOptions,
+    FaultProfile, ProcessKill, ScenarioSpec,
 };
 
 /// Write `bytes` to `path` atomically, or exit 1 with the error on
 /// stderr — an output file either appears whole or not at all.
 fn write_or_die(path: &str, bytes: &[u8]) {
     if let Err(e) = atomic_write(std::path::Path::new(path), bytes) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Stream pre-serialized fragments to `path` atomically (no second
+/// whole-file concatenation buffer), or exit 1.
+fn write_parts_or_die(path: &str, parts: &[String]) {
+    let r = atomic_write_with(std::path::Path::new(path), |w| {
+        for p in parts {
+            write_all_chunked(w, p.as_bytes())?;
+        }
+        Ok(())
+    });
+    if let Err(e) = r {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
@@ -158,6 +175,7 @@ fn main() {
     let mut seed = 2026u64;
     let mut jobs = 1usize;
     let mut fig_jobs = 1usize;
+    let mut export_jobs = 1usize;
     let mut timings = false;
     let mut timings_json: Option<String> = None;
     let mut faults = FaultOpts::default();
@@ -225,6 +243,17 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| {
                         eprintln!("--fig-jobs needs a positive worker count");
+                        std::process::exit(2);
+                    });
+            }
+            "--export-jobs" => {
+                i += 1;
+                export_jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--export-jobs needs a positive worker count");
                         std::process::exit(2);
                     });
             }
@@ -296,7 +325,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] \
-                   [--fig-jobs N] [--timings] [--timings-json FILE] \
+                   [--fig-jobs N] [--export-jobs N] [--timings] [--timings-json FILE] \
                    [--fault-profile none|paper|harsh] [--max-retries N] [--fail-fast] \
                    [--checkpoint-dir DIR] [--resume] [--kill-after K] \
                    [--scenario NAME|FILE.json] [--scenario-dump] [--list] \
@@ -389,8 +418,8 @@ fn main() {
     let t2 = Instant::now(); // lint:allow(D3): phase timing, reported only
     let mut export_elapsed = Duration::ZERO;
     if let Some(path) = export {
-        let json = wheels_xcal::export::to_json(&db).expect("database serializes");
-        write_or_die(&path, json.as_bytes());
+        let parts = wheels_xcal::export::to_json_parts(&db, export_jobs);
+        write_parts_or_die(&path, &parts);
         let report =
             serde_json::to_string_pretty(&integrity).expect("integrity report serializes");
         let report_path = format!("{path}.integrity.json");
@@ -443,14 +472,16 @@ fn main() {
         );
     }
     if let Some(path) = timings_json {
+        let total = campaign_elapsed + index_elapsed + figures_elapsed + export_elapsed;
         let json = format!(
-            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"kpi_samples\": {kpi_samples},\n  \"samples_per_s\": {:.1},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6}\n}}\n",
+            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"export_jobs\": {export_jobs},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"kpi_samples\": {kpi_samples},\n  \"samples_per_s\": {:.1},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6},\n  \"total_s\": {:.6}\n}}\n",
             wanted.len(),
             campaign_elapsed.as_secs_f64(),
             kpi_samples as f64 / campaign_elapsed.as_secs_f64(),
             index_elapsed.as_secs_f64(),
             figures_elapsed.as_secs_f64(),
             export_elapsed.as_secs_f64(),
+            total.as_secs_f64(),
         );
         write_or_die(&path, json.as_bytes());
         eprintln!("timings written to {path}");

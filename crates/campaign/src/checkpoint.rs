@@ -76,6 +76,30 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// processes atomically writing the same path race on the rename — last
 /// writer wins with both outcomes intact, which is the POSIX contract.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(path, |w| write_all_chunked(w, bytes))
+}
+
+/// `write_all` in bounded (4 MiB) chunks. A single hundreds-of-MB
+/// `write(2)` can hit a pathological kernel slow path (observed ~25×
+/// slower than chunked writes of the same bytes on tmpfs); bounded
+/// chunks sidestep it at no cost for small writes.
+pub fn write_all_chunked<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    for chunk in bytes.chunks(4 << 20) {
+        w.write_all(chunk)?;
+    }
+    Ok(())
+}
+
+/// Streaming form of [`atomic_write`]: `emit` produces the file contents
+/// incrementally into a buffered temp-file writer, so callers holding the
+/// output as multiple fragments (or generating it on the fly) publish it
+/// atomically without first concatenating a second whole-file buffer.
+/// Same crash contract as [`atomic_write`]; if `emit` fails the temp file
+/// is removed and the destination is untouched.
+pub fn atomic_write_with<F>(path: &Path, emit: F) -> io::Result<()>
+where
+    F: FnOnce(&mut io::BufWriter<File>) -> io::Result<()>,
+{
     let file_name = path.file_name().ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -87,12 +111,17 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         _ => Path::new("."),
     };
     let tmp = dir.join(format!(".{}.tmp", file_name.to_string_lossy()));
-    {
+    let staged = (|| {
         // lint:allow(D6): this IS the atomic_write implementation — the
         // temp file is fsynced and renamed before anyone can see it
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        let mut w = io::BufWriter::new(File::create(&tmp)?);
+        emit(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
     }
     fs::rename(&tmp, path)?;
     if let Ok(d) = File::open(dir) {

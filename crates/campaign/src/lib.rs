@@ -33,7 +33,10 @@ pub mod scenario;
 pub mod static_tests;
 pub mod stats;
 
-pub use checkpoint::{atomic_write, CheckpointKey, CheckpointWriter, LoadedCheckpoints};
+pub use checkpoint::{
+    atomic_write, atomic_write_with, write_all_chunked, CheckpointKey, CheckpointWriter,
+    LoadedCheckpoints,
+};
 pub use config::CampaignConfig;
 pub use executor::{merge_shard_slots, merge_shards, ExecInterrupt, Shard, WorkUnit};
 pub use integrity::{IntegrityReport, ResumeReport, UnitError, UnitReport, UnitStatus};

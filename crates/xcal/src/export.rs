@@ -5,12 +5,87 @@
 //! samples for spreadsheet-style analysis.
 
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::ser::JsonWriter;
+use serde::Serialize;
 
 use crate::database::{ConsolidatedDb, TestRecord};
 
 /// Serialize the full database to pretty JSON.
 pub fn to_json(db: &ConsolidatedDb) -> serde_json::Result<String> {
     serde_json::to_string_pretty(db)
+}
+
+/// Serialize the full database to pretty JSON as an ordered list of
+/// fragments whose concatenation is byte-identical to [`to_json`].
+///
+/// `db.records` — by far the bulk of the document — is sharded into
+/// `jobs` contiguous chunks serialized on `std::thread::scope` workers
+/// (the ordered-slot pattern: workers claim chunk indices from an
+/// atomic counter and park results in per-chunk slots, so the output
+/// order is canonical regardless of scheduling). Callers stream the
+/// fragments straight to a writer without concatenating them into a
+/// second whole-file buffer.
+pub fn to_json_parts(db: &ConsolidatedDb, jobs: usize) -> Vec<String> {
+    if db.records.is_empty() {
+        // An empty `records` array collapses to `[]` rather than the
+        // multi-line envelope below; the plain streamed form is cheap here.
+        return vec![to_json(db).expect("database serializes")];
+    }
+    let n = db.records.len();
+    let chunks = jobs.max(1).min(n);
+    let mut parts = Vec::with_capacity(chunks + 2);
+    parts.push(String::from("{\n  \"records\": ["));
+    if chunks == 1 {
+        parts.push(records_fragment(&db.records, 0));
+    } else {
+        let slots: Vec<Mutex<Option<String>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..chunks {
+                scope.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    let lo = c * n / chunks;
+                    let hi = (c + 1) * n / chunks;
+                    let frag = records_fragment(&db.records[lo..hi], lo);
+                    *slots[c].lock().expect("export slot poisoned") = Some(frag);
+                });
+            }
+        });
+        for slot in slots {
+            let frag = slot.into_inner().expect("export slot poisoned");
+            parts.push(frag.expect("every chunk serialized"));
+        }
+    }
+    let mut tail = String::from("\n  ],\n  \"passive\": ");
+    let mut w = JsonWriter::append_to(tail, Some(2), 1);
+    db.passive.stream(&mut w);
+    tail = w.finish();
+    tail.push_str("\n}");
+    parts.push(tail);
+    parts
+}
+
+/// Pretty-print `records[lo..hi]` as the interior of the top-level
+/// `"records"` array: each element at depth 2, preceded by `,` unless it
+/// is the global first record.
+fn records_fragment(records: &[TestRecord], global_start: usize) -> String {
+    let mut buf = String::new();
+    for (k, r) in records.iter().enumerate() {
+        if global_start + k > 0 {
+            buf.push(',');
+        }
+        buf.push_str("\n    ");
+        let mut w = JsonWriter::append_to(buf, Some(2), 2);
+        r.stream(&mut w);
+        buf = w.finish();
+    }
+    buf
 }
 
 /// Deserialize a database from JSON.
@@ -23,19 +98,31 @@ pub const CSV_HEADER: &str =
     "test_id,op,kind,static,time_s,tput_mbps,tech,rsrp_dbm,mcs,bler,ca,speed_mph,timezone,region,handovers";
 
 /// Write all throughput samples as CSV rows.
-pub fn write_tput_csv<W: Write>(db: &ConsolidatedDb, mut w: W) -> std::io::Result<()> {
+///
+/// Rows are formatted into one reused `String` and pushed through a
+/// `BufWriter`, so per-sample cost is formatting only — no per-row
+/// allocation and no per-row syscall even when `w` is unbuffered.
+pub fn write_tput_csv<W: Write>(db: &ConsolidatedDb, w: W) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(w);
     writeln!(w, "{CSV_HEADER}")?;
+    let mut row = String::with_capacity(160);
     for r in &db.records {
-        write_record_rows(r, &mut w)?;
+        write_record_rows(r, &mut w, &mut row)?;
     }
-    Ok(())
+    w.flush()
 }
 
-fn write_record_rows<W: Write>(r: &TestRecord, w: &mut W) -> std::io::Result<()> {
+fn write_record_rows<W: Write>(
+    r: &TestRecord,
+    w: &mut std::io::BufWriter<W>,
+    row: &mut String,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
     for k in &r.kpi {
         let Some(tput) = k.tput_mbps else { continue };
+        row.clear();
         writeln!(
-            w,
+            row,
             "{},{},{},{},{:.3},{:.4},{},{:.1},{},{:.3},{},{:.1},{},{},{}",
             r.id,
             r.op.code(),
@@ -52,7 +139,9 @@ fn write_record_rows<W: Write>(r: &TestRecord, w: &mut W) -> std::io::Result<()>
             k.timezone.label(),
             k.region.label(),
             k.handovers_in_window,
-        )?;
+        )
+        .expect("formatting into a String is infallible");
+        w.write_all(row.as_bytes())?;
     }
     Ok(())
 }
@@ -129,6 +218,32 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[1].starts_with("7,T,DL,0,"));
         assert!(lines[1].contains("5G-mid"));
+    }
+
+    #[test]
+    fn parts_concat_matches_to_json_at_any_job_count() {
+        // Build a db with several records so multi-chunk partitions are
+        // exercised (including jobs > records, which clamps).
+        let mut db = tiny_db();
+        let proto = db.records[0].clone();
+        for id in 8..12 {
+            let mut r = proto.clone();
+            r.id = id;
+            r.kpi[0].time_s = id as f64 * 0.25;
+            db.records.push(r);
+        }
+        db.passive.push((Operator::Verizon, Default::default()));
+        let whole = to_json(&db).unwrap();
+        for jobs in [1, 2, 3, 7] {
+            assert_eq!(to_json_parts(&db, jobs).concat(), whole, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parts_handle_empty_records() {
+        let mut db = tiny_db();
+        db.records.clear();
+        assert_eq!(to_json_parts(&db, 4).concat(), to_json(&db).unwrap());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ser;
+
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -76,6 +78,15 @@ impl std::error::Error for Error {}
 pub trait Serialize {
     /// The JSON value representing `self`.
     fn to_value(&self) -> Value;
+
+    /// Stream `self` straight into a [`ser::JsonWriter`] with zero
+    /// intermediate [`Value`] nodes. Byte-identical to writing
+    /// [`to_value`](Serialize::to_value)'s tree; the derive macros and
+    /// the primitive impls below override this with direct emission, and
+    /// hand-written impls inherit the (correct, slower) tree fallback.
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.value(&self.to_value());
+    }
 }
 
 /// Lift a value out of the JSON data model.
@@ -90,11 +101,27 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        (**self).stream(w)
+    }
+}
+
+/// A [`Value`] serializes as itself (streamed without re-lowering).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.value(self)
+    }
 }
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.bool(*self)
     }
 }
 
@@ -102,11 +129,17 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.str(self)
+    }
 }
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.str(self)
     }
 }
 
@@ -114,11 +147,17 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Num(Num::F64(*self))
     }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.f64(*self)
+    }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Num(Num::F32(*self))
+    }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        w.f32(*self)
     }
 }
 
@@ -126,6 +165,7 @@ macro_rules! ser_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::Num(Num::U64(*self as u64)) }
+            fn stream(&self, w: &mut ser::JsonWriter<'_>) { w.u64(*self as u64) }
         }
     )*};
 }
@@ -135,6 +175,7 @@ macro_rules! ser_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::Num(Num::I64(*self as i64)) }
+            fn stream(&self, w: &mut ser::JsonWriter<'_>) { w.i64(*self as i64) }
         }
     )*};
 }
@@ -147,24 +188,46 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+    fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+        match self {
+            Some(v) => v.stream(w),
+            None => w.null(),
+        }
+    }
+}
+
+macro_rules! ser_seq_stream {
+    () => {
+        fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+            w.begin_array();
+            for item in self.iter() {
+                w.elem();
+                item.stream(w);
+            }
+            w.end_array();
+        }
+    };
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    ser_seq_stream!();
 }
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    ser_seq_stream!();
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    ser_seq_stream!();
 }
 
 macro_rules! ser_tuple {
@@ -172,6 +235,11 @@ macro_rules! ser_tuple {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$n.to_value()),+])
+            }
+            fn stream(&self, w: &mut ser::JsonWriter<'_>) {
+                w.begin_array();
+                $( w.elem(); self.$n.stream(w); )+
+                w.end_array();
             }
         }
     )*};
@@ -186,6 +254,13 @@ ser_tuple! {
 }
 
 // -------------------------------------------------------------- deserialize
+
+/// A [`Value`] deserializes as itself (what `from_str::<Value>` yields).
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
 
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, Error> {

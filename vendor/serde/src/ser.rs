@@ -1,0 +1,642 @@
+//! Streaming JSON emission.
+//!
+//! [`JsonWriter`] is the single writer behind every JSON byte this
+//! workspace produces. Values are written straight into one growing
+//! buffer — no intermediate [`Value`] nodes, no per-key `String`
+//! allocations, no per-number `format!` temporaries — in exactly the
+//! layout of the historical tree writer (compact, or 2-space pretty in
+//! serde_json's style). [`Serialize::stream`](crate::Serialize::stream)
+//! drives it; the derive macros generate direct visitor-style emission,
+//! and hand-written `Serialize` impls fall back to lowering their subtree
+//! to a [`Value`] (byte-identical either way, just slower).
+//!
+//! The writer can also drain into an [`std::io::Write`] sink with a
+//! bounded (64 KiB) in-memory buffer, so arbitrarily large exports never
+//! hold a second whole-file copy in memory.
+//!
+//! ## Byte contract
+//!
+//! The output is pinned by the campaign's byte-equivalence gates:
+//!
+//! * objects/arrays: `{"k":v}` compact; pretty opens with a newline,
+//!   indents 2 spaces per depth, and puts one space after `:`;
+//! * empty containers are `{}` / `[]` with no inner newline;
+//! * integral floats with `|x| < 1e15` print as `1.0` (so float-ness
+//!   survives a round-trip), everything else as Rust's shortest
+//!   round-trip `Display`; non-finite floats print `null`;
+//! * parsed numbers ([`Num::Raw`]) re-emit their original token.
+
+use core::fmt::Write as _;
+
+use crate::{Num, Value};
+
+/// Bytes buffered before an io-backed writer drains to its sink.
+const IO_FLUSH_LEN: usize = 64 * 1024;
+
+/// Shared integral-float layout check: serde_json writes integral floats
+/// as `1.0`, not `1`, so the number's float-ness survives a round-trip.
+/// The magnitude guard keeps `{:.1}` from expanding huge floats into
+/// long non-round-trip decimal strings.
+///
+/// Implemented per float width (the `1e15` literal must compare in the
+/// value's own type — `f32` and `f64` round the threshold differently).
+pub trait JsonFloat: Copy + core::fmt::Display {
+    /// True when the value should print with the fixed `x.0` layout.
+    fn is_json_integral(self) -> bool;
+    /// True when the value has a JSON number form at all.
+    fn is_json_finite(self) -> bool;
+    /// The value as `f64` (lossless for both widths; used only on the
+    /// integral fast path where the magnitude is below 2^53 anyway).
+    fn widen(self) -> f64;
+}
+
+impl JsonFloat for f64 {
+    fn is_json_integral(self) -> bool {
+        self.fract() == 0.0 && self.abs() < 1e15
+    }
+    fn is_json_finite(self) -> bool {
+        self.is_finite()
+    }
+    fn widen(self) -> f64 {
+        self
+    }
+}
+
+impl JsonFloat for f32 {
+    fn is_json_integral(self) -> bool {
+        self.fract() == 0.0 && self.abs() < 1e15
+    }
+    fn is_json_finite(self) -> bool {
+        self.is_finite()
+    }
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Append `x` in decimal. One pass into a stack buffer — `core::fmt`'s
+/// per-call dispatch dominates tokens this small, and the export writes
+/// millions of them.
+pub fn write_u64(out: &mut String, mut x: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (x % 10) as u8;
+        x /= 10;
+        if x == 0 {
+            break;
+        }
+    }
+    out.push_str(core::str::from_utf8(&buf[i..]).expect("decimal digits are ascii"));
+}
+
+/// Append `x` in decimal (signed twin of [`write_u64`]).
+pub fn write_i64(out: &mut String, x: i64) {
+    if x < 0 {
+        out.push('-');
+    }
+    write_u64(out, x.unsigned_abs());
+}
+
+/// Append the JSON token for a finite float to `out` (one shared
+/// implementation for `f32` and `f64`; see [`JsonFloat`]). Formats
+/// directly into the output buffer — no intermediate `String`.
+///
+/// Integral values take a digits-then-`.0` fast path: the magnitude is
+/// below `1e15` < 2^53, so the integer part is exactly representable and
+/// the digits match `{x:.1}` byte-for-byte (including the `-0.0` sign).
+/// Everything else goes through Rust's shortest round-trip `Display`.
+pub fn write_float<T: JsonFloat>(out: &mut String, x: T) {
+    if x.is_json_integral() {
+        let v = x.widen();
+        if v.is_sign_negative() {
+            out.push('-');
+        }
+        write_u64(out, v.abs() as u64);
+        out.push_str(".0");
+    } else {
+        write!(out, "{x}").expect("fmt to String is infallible");
+    }
+}
+
+/// Append the JSON string literal for `s` (quotes + escapes) to `out`.
+///
+/// Clean runs (no `"`, `\`, or control bytes — the overwhelmingly common
+/// case for keys and enum labels) are copied with one bulk `push_str`.
+/// Every byte that needs escaping is ASCII, so slicing at its index
+/// always lands on a char boundary; multi-byte UTF-8 passes through the
+/// `>= 0x20` test untouched.
+pub fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b >= 0x20 && b != b'"' && b != b'\\' {
+            continue;
+        }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            0x08 => out.push_str("\\b"),
+            0x0c => out.push_str("\\f"),
+            b => {
+                write!(out, "\\u{:04x}", b).expect("fmt to String is infallible");
+            }
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+/// Where finished bytes go: kept in the buffer, or drained to an io sink.
+enum Sink<'w> {
+    /// Accumulate everything in `buf`; [`JsonWriter::finish`] returns it.
+    Buffer,
+    /// Drain `buf` to the writer whenever it exceeds [`IO_FLUSH_LEN`].
+    Io(&'w mut dyn std::io::Write),
+}
+
+/// The streaming JSON writer.
+///
+/// Call sequence per container: `begin_object` → (`key` → value)* →
+/// `end_object`, and `begin_array` → (`elem` → value)* → `end_array`;
+/// `key`/`elem` emit the separator and indentation for the entry they
+/// precede. Leaf methods (`null`, `bool`, `f64`, …) emit one token.
+/// Opening braces are deferred until the first entry so empty containers
+/// collapse to `{}` / `[]`.
+pub struct JsonWriter<'w> {
+    buf: String,
+    sink: Sink<'w>,
+    io_err: Option<std::io::Error>,
+    indent: Option<usize>,
+    /// Current nesting depth: the constructor's base depth plus currently
+    /// open containers.
+    depth: usize,
+    /// An opening delimiter not yet written (the container might still
+    /// turn out empty).
+    pending: Option<char>,
+}
+
+impl JsonWriter<'static> {
+    /// A compact writer (`{"a":1}`) accumulating into a fresh buffer.
+    pub fn compact() -> Self {
+        Self::append_to(String::new(), None, 0)
+    }
+
+    /// A pretty writer (2-space indent, serde_json layout) accumulating
+    /// into a fresh buffer.
+    pub fn pretty() -> Self {
+        Self::append_to(String::new(), Some(2), 0)
+    }
+
+    /// A writer that appends to an existing buffer, treating the value it
+    /// writes as sitting at nesting depth `depth` (so parallel export
+    /// workers can serialize fragments of a larger document).
+    /// [`finish`](JsonWriter::finish) returns the buffer.
+    pub fn append_to(buf: String, indent: Option<usize>, depth: usize) -> Self {
+        JsonWriter {
+            buf,
+            sink: Sink::Buffer,
+            io_err: None,
+            indent,
+            depth,
+            pending: None,
+        }
+    }
+}
+
+impl<'w> JsonWriter<'w> {
+    /// A writer that drains to `w` with a bounded in-memory buffer.
+    /// Finish with [`finish_io`](JsonWriter::finish_io); io errors are
+    /// sticky and reported there.
+    pub fn to_io(w: &'w mut dyn std::io::Write, indent: Option<usize>) -> Self {
+        JsonWriter {
+            buf: String::with_capacity(IO_FLUSH_LEN + 1024),
+            sink: Sink::Io(w),
+            io_err: None,
+            indent,
+            depth: 0,
+            pending: None,
+        }
+    }
+
+    /// The accumulated buffer (buffer-backed writers).
+    pub fn finish(self) -> String {
+        debug_assert!(
+            matches!(self.sink, Sink::Buffer),
+            "finish() on an io-backed writer drops drained bytes; use finish_io()"
+        );
+        self.buf
+    }
+
+    /// Drain the remaining buffer and report any sticky io error
+    /// (io-backed writers).
+    pub fn finish_io(mut self) -> std::io::Result<()> {
+        self.drain_to_sink();
+        match self.io_err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------ plumbing
+
+    fn drain_to_sink(&mut self) {
+        if let Sink::Io(w) = &mut self.sink {
+            if self.io_err.is_none() {
+                if let Err(e) = w.write_all(self.buf.as_bytes()) {
+                    self.io_err = Some(e);
+                }
+            }
+            self.buf.clear();
+        }
+    }
+
+    /// Drain to the io sink if the buffer has grown past the threshold.
+    /// Called after leaf tokens and container closes — never between a
+    /// separator and its value, so drained output is always a prefix of
+    /// the final document.
+    fn maybe_drain(&mut self) {
+        if matches!(self.sink, Sink::Io(_)) && self.buf.len() >= IO_FLUSH_LEN {
+            self.drain_to_sink();
+        }
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        // '\n' followed by 64 spaces: one bulk push covers any realistic
+        // depth; deeper nesting just loops.
+        const PAD: &str = "\n                                                                ";
+        if let Some(w) = self.indent {
+            let n = depth * w;
+            if n < PAD.len() {
+                self.buf.push_str(&PAD[..1 + n]);
+            } else {
+                self.buf.push('\n');
+                let mut left = n;
+                while left > 0 {
+                    let k = left.min(PAD.len() - 1);
+                    self.buf.push_str(&PAD[1..1 + k]);
+                    left -= k;
+                }
+            }
+        }
+    }
+
+    /// Separator + indentation before an entry: the deferred opening
+    /// delimiter if this is the container's first entry, `,` otherwise.
+    fn sep_and_indent(&mut self) {
+        match self.pending.take() {
+            Some(open) => self.buf.push(open),
+            None => self.buf.push(','),
+        }
+        self.newline_indent(self.depth);
+    }
+
+    fn open(&mut self, delim: char) {
+        if let Some(prev) = self.pending.take() {
+            // Misuse guard (a container opened directly inside another
+            // without key()/elem()); keep the bytes sane anyway.
+            self.buf.push(prev);
+        }
+        self.pending = Some(delim);
+        self.depth += 1;
+    }
+
+    fn close(&mut self, open_delim: char, close_delim: char) {
+        self.depth -= 1;
+        match self.pending.take() {
+            Some(_) => {
+                // Nothing was written: the empty container form.
+                self.buf.push(open_delim);
+                self.buf.push(close_delim);
+            }
+            None => {
+                self.newline_indent(self.depth);
+                self.buf.push(close_delim);
+            }
+        }
+        self.maybe_drain();
+    }
+
+    // ---------------------------------------------------------- containers
+
+    /// Open an object. Pair with [`end_object`](JsonWriter::end_object).
+    pub fn begin_object(&mut self) {
+        self.open('{');
+    }
+
+    /// Emit the separator, indentation, and `"key":` for the next member.
+    pub fn key(&mut self, key: &str) {
+        self.sep_and_indent();
+        escape_str(key, &mut self.buf);
+        self.buf.push(':');
+        if self.indent.is_some() {
+            self.buf.push(' ');
+        }
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) {
+        self.close('{', '}');
+    }
+
+    /// Open an array. Pair with [`end_array`](JsonWriter::end_array).
+    pub fn begin_array(&mut self) {
+        self.open('[');
+    }
+
+    /// Emit the separator and indentation for the next array element.
+    pub fn elem(&mut self) {
+        self.sep_and_indent();
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) {
+        self.close('[', ']');
+    }
+
+    // --------------------------------------------------------------- leaves
+
+    /// `null`.
+    pub fn null(&mut self) {
+        self.buf.push_str("null");
+        self.maybe_drain();
+    }
+
+    /// `true` / `false`.
+    pub fn bool(&mut self, b: bool) {
+        self.buf.push_str(if b { "true" } else { "false" });
+        self.maybe_drain();
+    }
+
+    /// An `f64` number token (`null` for non-finite values, which have no
+    /// JSON form; the simulation never produces them).
+    pub fn f64(&mut self, x: f64) {
+        if x.is_json_finite() {
+            write_float(&mut self.buf, x);
+        } else {
+            self.buf.push_str("null");
+        }
+        self.maybe_drain();
+    }
+
+    /// An `f32` number token (same contract as [`f64`](JsonWriter::f64),
+    /// formatted with `f32`'s own shortest round-trip `Display`).
+    pub fn f32(&mut self, x: f32) {
+        if x.is_json_finite() {
+            write_float(&mut self.buf, x);
+        } else {
+            self.buf.push_str("null");
+        }
+        self.maybe_drain();
+    }
+
+    /// An unsigned integer token.
+    pub fn u64(&mut self, x: u64) {
+        write_u64(&mut self.buf, x);
+        self.maybe_drain();
+    }
+
+    /// A signed integer token.
+    pub fn i64(&mut self, x: i64) {
+        write_i64(&mut self.buf, x);
+        self.maybe_drain();
+    }
+
+    /// A pre-rendered token, written verbatim (parsed [`Num::Raw`]
+    /// numbers — this is what makes parse→serialize byte-stable).
+    pub fn raw(&mut self, token: &str) {
+        self.buf.push_str(token);
+        self.maybe_drain();
+    }
+
+    /// A string literal (quoted + escaped).
+    pub fn str(&mut self, s: &str) {
+        escape_str(s, &mut self.buf);
+        self.maybe_drain();
+    }
+
+    /// Any [`Num`].
+    pub fn num(&mut self, n: &Num) {
+        match n {
+            Num::F64(x) => self.f64(*x),
+            Num::F32(x) => self.f32(*x),
+            Num::U64(x) => self.u64(*x),
+            Num::I64(x) => self.i64(*x),
+            Num::Raw(s) => self.raw(s),
+        }
+    }
+
+    /// Emit a whole [`Value`] tree (the fallback for hand-written
+    /// `Serialize` impls, and the engine behind serde_json's tree path).
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.null(),
+            Value::Bool(b) => self.bool(*b),
+            Value::Num(n) => self.num(n),
+            Value::Str(s) => self.str(s),
+            Value::Array(items) => {
+                self.begin_array();
+                for item in items {
+                    self.elem();
+                    self.value(item);
+                }
+                self.end_array();
+            }
+            Value::Object(pairs) => {
+                self.begin_object();
+                for (key, item) in pairs {
+                    self.key(key);
+                    self.value(item);
+                }
+                self.end_object();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Serialize;
+
+    #[test]
+    fn compact_and_pretty_layout() {
+        let build = |indent| {
+            let mut w = JsonWriter::append_to(String::new(), indent, 0);
+            w.begin_object();
+            w.key("a");
+            w.u64(1);
+            w.key("b");
+            w.begin_array();
+            w.elem();
+            w.f64(2.0);
+            w.elem();
+            w.null();
+            w.end_array();
+            w.key("c");
+            w.begin_object();
+            w.end_object();
+            w.end_object();
+            w.finish()
+        };
+        assert_eq!(build(None), "{\"a\":1,\"b\":[2.0,null],\"c\":{}}");
+        assert_eq!(
+            build(Some(2)),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2.0,\n    null\n  ],\n  \"c\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers_collapse() {
+        let mut w = JsonWriter::pretty();
+        w.begin_array();
+        w.end_array();
+        assert_eq!(w.finish(), "[]");
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.end_object();
+        assert_eq!(w.finish(), "{}");
+    }
+
+    #[test]
+    fn base_depth_indents_fragments() {
+        let mut w = JsonWriter::append_to(String::new(), Some(2), 2);
+        w.begin_object();
+        w.key("x");
+        w.u64(1);
+        w.end_object();
+        assert_eq!(w.finish(), "{\n      \"x\": 1\n    }");
+    }
+
+    #[test]
+    fn float_layout_is_shared_between_widths() {
+        for (want, x) in [("1.0", 1.0f64), ("0.1", 0.1), ("-2.5", -2.5)] {
+            let mut out = String::new();
+            write_float(&mut out, x);
+            assert_eq!(out, want);
+        }
+        // Huge magnitudes skip the {:.1} path and still round-trip.
+        let mut out = String::new();
+        write_float(&mut out, -1e300);
+        assert_eq!(out.parse::<f64>().unwrap(), -1e300);
+        let mut out = String::new();
+        write_float(&mut out, 2.0f32);
+        assert_eq!(out, "2.0");
+        let mut out = String::new();
+        write_float(&mut out, 0.1f32);
+        assert_eq!(out, "0.1");
+    }
+
+    #[test]
+    fn integer_tokens_match_display() {
+        for x in [0u64, 7, 10, 99, 12345678901234567890, u64::MAX] {
+            let mut out = String::new();
+            write_u64(&mut out, x);
+            assert_eq!(out, x.to_string());
+        }
+        for x in [0i64, -1, 42, i64::MIN, i64::MAX] {
+            let mut out = String::new();
+            write_i64(&mut out, x);
+            assert_eq!(out, x.to_string());
+        }
+    }
+
+    #[test]
+    fn integral_float_fast_path_matches_fixed_precision_fmt() {
+        for x in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -73.0,
+            28822.0,
+            1e14,
+            -999999999999999.0,
+            16_777_216.0,
+        ] {
+            let mut out = String::new();
+            write_float(&mut out, x);
+            assert_eq!(out, format!("{x:.1}"), "for {x}");
+        }
+    }
+
+    #[test]
+    fn escape_fast_path_and_escapes() {
+        let cases = [
+            ("plain key", "\"plain key\""),
+            ("", "\"\""),
+            ("q\"b\\c", "\"q\\\"b\\\\c\""),
+            ("a\nb\tc\u{1}", "\"a\\nb\\tc\\u0001\""),
+            ("héllo → 😀", "\"héllo → 😀\""),
+        ];
+        for (input, want) in cases {
+            let mut out = String::new();
+            escape_str(input, &mut out);
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn deep_indent_wraps_pad_buffer() {
+        let mut w = JsonWriter::append_to(String::new(), Some(2), 40);
+        w.begin_array();
+        w.elem();
+        w.u64(1);
+        w.end_array();
+        let s = w.finish();
+        // Element sits at depth 41 → newline + 82 spaces.
+        assert!(s.contains(&format!("\n{}1", " ".repeat(82))));
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        let mut w = JsonWriter::compact();
+        w.begin_array();
+        w.elem();
+        w.f64(f64::NAN);
+        w.elem();
+        w.f32(f32::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null]");
+    }
+
+    #[test]
+    fn io_sink_drains_incrementally_and_matches_buffer() {
+        // A document comfortably larger than the flush threshold must
+        // arrive byte-identical through the bounded io path.
+        let big: Vec<u64> = (0..40_000).collect();
+        let mut w = JsonWriter::pretty();
+        big.stream(&mut w);
+        let expect = w.finish();
+        assert!(expect.len() > IO_FLUSH_LEN);
+
+        let mut sink = Vec::new();
+        let mut w = JsonWriter::to_io(&mut sink, Some(2));
+        big.stream(&mut w);
+        w.finish_io().unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), expect);
+    }
+
+    #[test]
+    fn io_errors_are_sticky() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::Other, "boom"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut broken = Broken;
+        let mut w = JsonWriter::to_io(&mut broken, None);
+        w.str("x");
+        assert!(w.finish_io().is_err());
+    }
+}

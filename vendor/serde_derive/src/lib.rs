@@ -237,6 +237,29 @@ fn array_of(items: &[String]) -> String {
     }
 }
 
+/// Statements streaming a named-fields payload (`{bind}` is `self.` for
+/// structs, empty for enum-variant bindings).
+fn stream_named(fields: &[String], bind: &str) -> String {
+    let mut s = String::from("w.begin_object();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "w.key(\"{f}\"); ::serde::Serialize::stream(&{bind}{f}, w);\n"
+        ));
+    }
+    s.push_str("w.end_object();");
+    s
+}
+
+/// Statements streaming a tuple payload from the given accessors.
+fn stream_tuple(accessors: &[String]) -> String {
+    let mut s = String::from("w.begin_array();\n");
+    for a in accessors {
+        s.push_str(&format!("w.elem(); ::serde::Serialize::stream(&{a}, w);\n"));
+    }
+    s.push_str("w.end_array();");
+    s
+}
+
 fn gen_struct_ser(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Unit => "::serde::Value::Null".to_string(),
@@ -256,9 +279,21 @@ fn gen_struct_ser(name: &str, fields: &Fields) -> String {
             array_of(&items)
         }
     };
+    // Direct visitor emission: same bytes as writing the tree above, but
+    // with zero intermediate Value nodes or key-String allocations.
+    let stream_body = match fields {
+        Fields::Unit => "w.null();".to_string(),
+        Fields::Named(names) => stream_named(names, "self."),
+        Fields::Tuple(1) => "::serde::Serialize::stream(&self.0, w);".to_string(),
+        Fields::Tuple(n) => {
+            let accessors: Vec<String> = (0..*n).map(|k| format!("self.{k}")).collect();
+            stream_tuple(&accessors)
+        }
+    };
     format!(
         "impl ::serde::Serialize for {name} {{\n\
          fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         fn stream(&self, w: &mut ::serde::ser::JsonWriter<'_>) {{\n{stream_body}\n}}\n\
          }}"
     )
 }
@@ -331,13 +366,47 @@ fn gen_enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
         };
         arms.push(arm);
     }
+    // Streaming arms: externally-tagged, same layout as the tree arms.
+    let mut stream_arms = Vec::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!("{name}::{v} => w.str(\"{v}\"),"),
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let payload = stream_named(fs, "*");
+                format!(
+                    "{name}::{v} {{ {binds} }} => {{\n\
+                     w.begin_object(); w.key(\"{v}\");\n{payload}\nw.end_object();\n}}"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(f0) => {{\n\
+                 w.begin_object(); w.key(\"{v}\");\n\
+                 ::serde::Serialize::stream(f0, w);\nw.end_object();\n}}"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let payload = stream_tuple(&binds);
+                format!(
+                    "{name}::{v}({}) => {{\n\
+                     w.begin_object(); w.key(\"{v}\");\n{payload}\nw.end_object();\n}}",
+                    binds.join(", ")
+                )
+            }
+        };
+        stream_arms.push(arm);
+    }
     format!(
         "impl ::serde::Serialize for {name} {{\n\
          fn to_value(&self) -> ::serde::Value {{\n\
          match self {{\n{}\n}}\n\
          }}\n\
+         fn stream(&self, w: &mut ::serde::ser::JsonWriter<'_>) {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
          }}",
-        arms.join("\n")
+        arms.join("\n"),
+        stream_arms.join("\n")
     )
 }
 

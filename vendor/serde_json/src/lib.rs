@@ -1,34 +1,57 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Deterministic JSON writer (compact and 2-space pretty forms, matching
-//! serde_json's layout) and a recursive-descent parser, both over the
-//! vendored `serde` [`Value`] model. Number tokens parsed from text are
-//! kept verbatim ([`serde::Num::Raw`]) so parse→serialize is byte-stable,
-//! and native floats are written with Rust's shortest round-trip `Display`
-//! so serialize→parse is value-exact. The campaign's byte-identical
-//! export guarantee (sequential == parallel) is tested against this
-//! writer's output.
+//! Deterministic JSON serialization (compact and 2-space pretty forms,
+//! matching serde_json's layout) and a recursive-descent parser, both
+//! over the vendored `serde` [`Value`] model. Number tokens parsed from
+//! text are kept verbatim ([`serde::Num::Raw`]) so parse→serialize is
+//! byte-stable, and native floats are written with Rust's shortest
+//! round-trip `Display` so serialize→parse is value-exact. The
+//! campaign's byte-identical export guarantee (sequential == parallel)
+//! is tested against this writer's output.
+//!
+//! Serialization **streams**: [`to_string`] / [`to_string_pretty`] drive
+//! [`Serialize::stream`] straight into one growing buffer, and
+//! [`to_writer`] / [`to_writer_pretty`] drain into any `io::Write` with
+//! a bounded in-memory buffer. The historical tree path ([`write_value`]
+//! over a materialized [`Value`]) is kept public as the equivalence
+//! oracle — the streamed bytes are proptested identical to it.
 
 #![forbid(unsafe_code)]
 
 pub use serde::Error;
+use serde::ser::JsonWriter;
 use serde::{Deserialize, Num, Serialize, Value};
 
 /// Result alias mirroring `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Serialize to compact JSON (`{"a":1,"b":[2,3]}`).
+/// Serialize to compact JSON (`{"a":1,"b":[2,3]}`), streamed.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
-    let mut out = String::new();
-    write_value(&value.to_value(), None, 0, &mut out);
-    Ok(out)
+    let mut w = JsonWriter::compact();
+    value.stream(&mut w);
+    Ok(w.finish())
 }
 
-/// Serialize to pretty JSON (2-space indent, serde_json layout).
+/// Serialize to pretty JSON (2-space indent, serde_json layout), streamed.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
-    let mut out = String::new();
-    write_value(&value.to_value(), Some(2), 0, &mut out);
-    Ok(out)
+    let mut w = JsonWriter::pretty();
+    value.stream(&mut w);
+    Ok(w.finish())
+}
+
+/// Stream compact JSON into `w` with a bounded (64 KiB) buffer — the
+/// whole document never sits in memory a second time.
+pub fn to_writer<W: std::io::Write, T: Serialize>(mut w: W, value: &T) -> Result<()> {
+    let mut jw = JsonWriter::to_io(&mut w, None);
+    value.stream(&mut jw);
+    jw.finish_io().map_err(|e| Error::msg(format!("io error: {e}")))
+}
+
+/// Stream pretty JSON into `w` (see [`to_writer`]).
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize>(mut w: W, value: &T) -> Result<()> {
+    let mut jw = JsonWriter::to_io(&mut w, Some(2));
+    value.stream(&mut jw);
+    jw.finish_io().map_err(|e| Error::msg(format!("io error: {e}")))
 }
 
 /// Deserialize a value from JSON text.
@@ -45,110 +68,23 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
 
 // ------------------------------------------------------------------- writer
 
-fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
-    match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::Num(n) => write_num(n, out),
-        Value::Str(s) => write_str(s, out),
-        Value::Array(items) => {
-            if items.is_empty() {
-                out.push_str("[]");
-                return;
-            }
-            out.push('[');
-            for (k, item) in items.iter().enumerate() {
-                if k > 0 {
-                    out.push(',');
-                }
-                newline_indent(indent, depth + 1, out);
-                write_value(item, indent, depth + 1, out);
-            }
-            newline_indent(indent, depth, out);
-            out.push(']');
-        }
-        Value::Object(pairs) => {
-            if pairs.is_empty() {
-                out.push_str("{}");
-                return;
-            }
-            out.push('{');
-            for (k, (key, item)) in pairs.iter().enumerate() {
-                if k > 0 {
-                    out.push(',');
-                }
-                newline_indent(indent, depth + 1, out);
-                write_str(key, out);
-                out.push(':');
-                if indent.is_some() {
-                    out.push(' ');
-                }
-                write_value(item, indent, depth + 1, out);
-            }
-            newline_indent(indent, depth, out);
-            out.push('}');
-        }
-    }
-}
-
-fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
-    if let Some(w) = indent {
-        out.push('\n');
-        for _ in 0..depth * w {
-            out.push(' ');
-        }
-    }
-}
-
-fn write_num(n: &Num, out: &mut String) {
-    match n {
-        // Non-finite floats have no JSON form; serde_json errors, we emit
-        // null (the simulation never produces them).
-        Num::F64(x) if !x.is_finite() => out.push_str("null"),
-        Num::F32(x) if !x.is_finite() => out.push_str("null"),
-        Num::F64(x) => out.push_str(&fmt_float(*x)),
-        Num::F32(x) => {
-            if x.fract() == 0.0 && x.abs() < 1e15 {
-                out.push_str(&format!("{:.1}", x));
-            } else {
-                out.push_str(&format!("{}", x));
-            }
-        }
-        Num::U64(x) => out.push_str(&x.to_string()),
-        Num::I64(x) => out.push_str(&x.to_string()),
-        Num::Raw(s) => out.push_str(s),
-    }
+/// Write a materialized [`Value`] tree into `out` — the historical tree
+/// serializer, now a thin shell over the shared streaming emitter in
+/// `serde::ser`. Public so benches and property tests can compare the
+/// streamed path against it byte for byte.
+pub fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    let mut w = JsonWriter::append_to(std::mem::take(out), indent, depth);
+    w.value(v);
+    *out = w.finish();
 }
 
 /// serde_json writes integral floats as `1.0`, not `1`; keep that so the
-/// number's float-ness survives a round-trip.
-fn fmt_float(x: f64) -> String {
-    if x.fract() == 0.0 && x.abs() < 1e15 {
-        format!("{:.1}", x)
-    } else {
-        format!("{}", x)
-    }
-}
-
-fn write_str(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{8}' => out.push_str("\\b"),
-            '\u{c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+/// number's float-ness survives a round-trip. One shared implementation
+/// covers `f64` and `f32` (see [`serde::ser::write_float`]).
+pub fn fmt_float<T: serde::ser::JsonFloat>(x: T) -> String {
+    let mut out = String::new();
+    serde::ser::write_float(&mut out, x);
+    out
 }
 
 // ------------------------------------------------------------------- parser
@@ -293,6 +229,54 @@ impl<'a> Parser<'a> {
         Ok(Value::Num(Num::Raw(tok.to_string())))
     }
 
+    /// Four hex digits at the cursor (one `\uXXXX` payload); advances
+    /// past them.
+    fn hex4(&mut self) -> Result<u32> {
+        if self.i + 4 > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.i..self.i + 4])
+            .map_err(|_| Error::msg("bad \\u escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::msg("bad \\u escape"))?;
+        self.i += 4;
+        Ok(code)
+    }
+
+    /// Decode one `\uXXXX` escape with the cursor on the first hex digit,
+    /// leaving it past the last consumed digit. UTF-16 surrogate pairs
+    /// (high `\\uD83D` then low `\\uDE00`) decode to their supplementary
+    /// code point; lone or mismatched surrogates are rejected — real serde_json behaviour —
+    /// instead of collapsing to U+FFFD.
+    fn unicode_escape(&mut self) -> Result<char> {
+        let hi = self.hex4()?;
+        match hi {
+            0xD800..=0xDBFF => {
+                if self.bytes.get(self.i) != Some(&b'\\')
+                    || self.bytes.get(self.i + 1) != Some(&b'u')
+                {
+                    return Err(Error::msg(format!(
+                        "lone high surrogate \\u{hi:04x} (expected \\uDC00-\\uDFFF next)"
+                    )));
+                }
+                self.i += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&lo) {
+                    return Err(Error::msg(format!(
+                        "invalid surrogate pair \\u{hi:04x}\\u{lo:04x}"
+                    )));
+                }
+                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                char::from_u32(code)
+                    .ok_or_else(|| Error::msg("surrogate pair outside Unicode"))
+            }
+            0xDC00..=0xDFFF => {
+                Err(Error::msg(format!("lone low surrogate \\u{hi:04x}")))
+            }
+            code => char::from_u32(code).ok_or_else(|| Error::msg("bad \\u escape")),
+        }
+    }
+
     fn string(&mut self) -> Result<String> {
         self.expect(b'"')?;
         let mut s = String::new();
@@ -327,15 +311,10 @@ impl<'a> Parser<'a> {
                         Some(b'f') => s.push('\u{c}'),
                         Some(b'u') => {
                             self.i += 1;
-                            if self.i + 4 > self.bytes.len() {
-                                return Err(Error::msg("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.i..self.i + 4])
-                                .map_err(|_| Error::msg("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| Error::msg("bad \\u escape"))?;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.i += 3; // the final +1 below completes the 4
+                            s.push(self.unicode_escape()?);
+                            // unicode_escape leaves `i` on the last hex
+                            // digit; the shared +1 below steps past it.
+                            self.i -= 1;
                         }
                         other => {
                             return Err(Error::msg(format!("bad escape {other:?}")));
@@ -352,6 +331,93 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Num;
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // 😀 U+1F600 and 𝄞 U+1D11E, both above the BMP.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+        assert_eq!(
+            from_str::<String>("\"x\\uD834\\uDD1Ey\"").unwrap(),
+            "x\u{1D11E}y"
+        );
+        // BMP escapes are unaffected.
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for bad in [
+            "\"\\ud800\"",          // lone high at end of string
+            "\"\\ud83dx\"",         // high followed by a plain char
+            "\"\\ud83d\\n\"",       // high followed by another escape
+            "\"\\ud83d\\u0041\"",   // high followed by a non-low escape
+            "\"\\udc00\"",          // lone low
+            "\"\\ude00\\ud83d\"",   // pair in the wrong order
+        ] {
+            assert!(from_str::<String>(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn streamed_matches_tree_writer() {
+        let v = Value::Object(vec![
+            ("f".into(), Value::Num(Num::F64(2.5))),
+            ("g".into(), Value::Num(Num::F32(1.0))),
+            (
+                "nested".into(),
+                Value::Array(vec![
+                    Value::Str("a\"b\\c\u{1F600}\u{1}".into()),
+                    Value::Object(vec![]),
+                    Value::Array(vec![]),
+                    Value::Num(Num::Raw("-1.25e3".into())),
+                ]),
+            ),
+        ]);
+        for indent in [None, Some(2)] {
+            let mut tree = String::new();
+            write_value(&v, indent, 0, &mut tree);
+            let mut w = JsonWriter::append_to(String::new(), indent, 0);
+            serde::Serialize::stream(&v, &mut w);
+            assert_eq!(w.finish(), tree);
+        }
+    }
+
+    #[test]
+    fn to_writer_matches_to_string() {
+        let v = Value::Array(vec![
+            Value::Num(Num::U64(1)),
+            Value::Str("two".into()),
+            Value::Bool(true),
+        ]);
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &v).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_string(&v).unwrap());
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &v).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            to_string_pretty(&v).unwrap()
+        );
+    }
+
+    #[test]
+    fn f32_layout_matches_f64_helper_and_roundtrips() {
+        // The integral-float layout is one shared helper across widths.
+        assert_eq!(fmt_float(1.0f32), "1.0");
+        assert_eq!(fmt_float(1.0f64), "1.0");
+        assert_eq!(fmt_float(-42.0f32), "-42.0");
+        // Shortest-form f32 tokens parse back to the exact same f32 —
+        // no double rounding through f64.
+        for x in [0.1f32, 1.0, -3.5e-9, 16_777_216.0, 0.3, 1e15, f32::MIN_POSITIVE] {
+            let j = to_string(&x).unwrap();
+            let back: f32 = from_str(&j).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{j}");
+        }
+    }
 
     #[test]
     fn compact_and_pretty_shapes() {
