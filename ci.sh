@@ -78,10 +78,10 @@ cat BENCH_report.json
 
 echo "== campaign + export timing, jobs/export-jobs byte gates (quarter scale) =="
 # The campaign and export phases are the standing optimization targets:
-# record their wall times (BENCH_campaign.json carries campaign_s,
-# export_s, and the total_s roll-up) and prove both fan-outs are still
-# byte-pure — the export, integrity report, and table must not differ by
-# one byte between {--jobs, --export-jobs} 1 and 4.
+# prove both fan-outs are still byte-pure — the export, integrity
+# report, and table must not differ by one byte between
+# {--jobs, --export-jobs} 1 and 4. (BENCH_campaign.json is recorded by
+# the fleet gate below: same quarter/seed-11 world, fleet enabled.)
 #
 # The measured export goes to RAM-backed storage when available so
 # export_s tracks the serializer, not the container's highly variable
@@ -96,15 +96,13 @@ fi
   --export "$benchtmp/warm.json" table1 > /dev/null 2> /dev/null
 rm -f "$benchtmp/warm.json" "$benchtmp/warm.json.integrity.json"
 ./target/release/repro --scale quarter --seed 11 --jobs 1 --export-jobs 1 \
-  --export "$benchtmp/q-j1.json" --timings-json BENCH_campaign.json table1 \
+  --export "$benchtmp/q-j1.json" table1 \
   > "$tmp/q-j1.txt" 2> /dev/null
 ./target/release/repro --scale quarter --seed 11 --jobs 4 --export-jobs 4 \
   --export "$benchtmp/q-j4.json" table1 > "$tmp/q-j4.txt" 2> /dev/null
 cmp "$benchtmp/q-j1.json" "$benchtmp/q-j4.json"
 cmp "$benchtmp/q-j1.json.integrity.json" "$benchtmp/q-j4.json.integrity.json"
 cmp "$tmp/q-j1.txt" "$tmp/q-j4.txt"
-echo "campaign timings:"
-cat BENCH_campaign.json
 
 echo "== crash-resume byte gate (quarter scale, kill mid-run, jobs 1 and 4) =="
 # The crash-safety contract end to end, against the real binary: kill a
@@ -137,5 +135,32 @@ for jobs in 1 4; do
   cmp "$tmp/resume-j$jobs.json.integrity.json" "$benchtmp/q-j1.json.integrity.json"
   cmp "$tmp/resume-j$jobs.txt" "$tmp/q-j1.txt"
 done
+
+echo "== fleet gate: population-0 no-op + 10^4-subscriber byte gates =="
+# The fleet axis must be a strict no-op when off: --population 0 is
+# byte-identical — export and full report — to the same binary without
+# the flag (the scenario stage's smoke golden).
+./target/release/repro --scale smoke --seed 42 --population 0 \
+  --export "$tmp/pop0-42.json" all > "$tmp/pop0-42.txt" 2> /dev/null
+cmp "$tmp/direct-42.json" "$tmp/pop0-42.json"
+cmp "$tmp/direct-42.txt" "$tmp/pop0-42.txt"
+# A 10^4-subscriber quarter-scale fleet must be byte-identical at jobs
+# 1 vs 4 — export, integrity report, and the fleet ground-truth section
+# — and BENCH_campaign.json records this run (population and
+# subscriber_hours_per_s in the canonical timings record).
+./target/release/repro --scale quarter --seed 11 --jobs 1 --population 10000 \
+  --export "$benchtmp/fleet-j1.json" --timings-json BENCH_campaign.json \
+  ext-fleet table1 > "$tmp/fleet-j1.txt" 2> /dev/null
+./target/release/repro --scale quarter --seed 11 --jobs 4 --population 10000 \
+  --export "$benchtmp/fleet-j4.json" ext-fleet table1 \
+  > "$tmp/fleet-j4.txt" 2> /dev/null
+cmp "$benchtmp/fleet-j1.json" "$benchtmp/fleet-j4.json"
+cmp "$benchtmp/fleet-j1.json.integrity.json" "$benchtmp/fleet-j4.json.integrity.json"
+cmp "$tmp/fleet-j1.txt" "$tmp/fleet-j4.txt"
+grep -q "population 10000" "$tmp/fleet-j1.txt"
+grep -q '"population": 10000' BENCH_campaign.json
+grep -q '"subscriber_hours_per_s"' BENCH_campaign.json
+echo "fleet timings:"
+cat BENCH_campaign.json
 
 echo "CI OK"

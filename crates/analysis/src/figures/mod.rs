@@ -2,6 +2,7 @@
 //! (plus parameters where relevant) and a `render()` producing the same
 //! rows/series the paper reports.
 
+pub mod ext_fleet;
 pub mod ext_multipath;
 pub mod fig01_coverage_views;
 pub mod fig02_coverage;

@@ -26,9 +26,16 @@
 //! dataset (and every figure) is byte-identical to the sequential run at
 //! any job count.
 //!
+//! `--population N` seeds a panel-total fleet of N subscribers whose
+//! aggregate demand drives the cell load every probe experiences
+//! (`--population 0` or omitting the flag is the strict fleetless
+//! baseline — byte-identical output). The fleet's ground truth is
+//! rendered by the `ext-fleet` artifact.
+//!
 //! `--timings` prints a phase breakdown (campaign / index build / figures
 //! / export) to stderr; `--timings-json FILE` writes the same breakdown
-//! as JSON (what ci.sh stores as `BENCH_report.json`).
+//! as JSON. Both ci.sh benchmark stages (`BENCH_report.json`,
+//! `BENCH_campaign.json`) store this one canonical record shape.
 //!
 //! `--fault-profile none|paper|harsh` injects deterministic apparatus
 //! faults (probe crashes, server outages, modem detaches, timeouts); the
@@ -165,6 +172,7 @@ fn artifact_blurb(id: &str) -> &'static str {
         "fig15" => "360° video streaming results",
         "fig16" => "cloud gaming results",
         "ext-mptcp" => "MPTCP multi-operator what-if (extension)",
+        "ext-fleet" => "probe panel vs subscriber-fleet ground truth (extension)",
         _ => "",
     }
 }
@@ -183,6 +191,7 @@ fn main() {
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
     let mut kill_after: Option<usize> = None;
+    let mut population: Option<u64> = None;
     let mut scenario: Option<ScenarioSpec> = None;
     let mut scenario_dump = false;
     let mut wanted: Vec<String> = Vec::new();
@@ -286,6 +295,15 @@ fn main() {
                     });
             }
             "--fail-fast" => faults.fail_fast = true,
+            "--population" => {
+                i += 1;
+                population = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(
+                    || {
+                        eprintln!("--population needs a subscriber count");
+                        std::process::exit(2);
+                    },
+                ));
+            }
             "--checkpoint-dir" => {
                 i += 1;
                 checkpoint_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -325,6 +343,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!("usage: repro [--scale full|quarter|smoke] [--seed N] [--jobs N] \
+                   [--population N] \
                    [--fig-jobs N] [--export-jobs N] [--timings] [--timings-json FILE] \
                    [--fault-profile none|paper|harsh] [--max-retries N] [--fail-fast] \
                    [--checkpoint-dir DIR] [--resume] [--kill-after K] \
@@ -359,8 +378,10 @@ fn main() {
                 opts = opts.with_kill(ProcessKill::after_units(k));
             }
             let run = match spec {
-                Some(spec) => run_scenario_checkpointed(spec, scale, seed, jobs, faults, &opts),
-                None => run_campaign_checkpointed(scale, seed, jobs, faults, &opts),
+                Some(spec) => {
+                    run_scenario_checkpointed(spec, scale, seed, jobs, faults, population, &opts)
+                }
+                None => run_campaign_checkpointed(scale, seed, jobs, faults, population, &opts),
             };
             match run {
                 Err(CampaignError::Killed { committed }) => {
@@ -376,11 +397,10 @@ fn main() {
                 other => other.map_err(|e| e.to_string()),
             }
         }
-        (None, Some(spec)) => run_scenario_supervised(spec, scale, seed, jobs, faults)
+        (None, Some(spec)) => run_scenario_supervised(spec, scale, seed, jobs, faults, population)
             .map_err(|e| e.to_string()),
-        (None, None) => {
-            run_campaign_supervised(scale, seed, jobs, faults).map_err(|e| e.to_string())
-        }
+        (None, None) => run_campaign_supervised(scale, seed, jobs, faults, population)
+            .map_err(|e| e.to_string()),
     };
     let (campaign, outcome) = match run {
         Ok(r) => r,
@@ -399,10 +419,15 @@ fn main() {
             eprintln!("resume note: {note}");
         }
     }
+    let fleet = outcome.fleet;
     let db = outcome.db;
     let integrity = outcome.integrity;
     let campaign_elapsed = t0.elapsed();
     let kpi_samples = db.records.iter().map(|r| r.kpi.len()).sum::<usize>();
+    let fleet_population = fleet.as_ref().map_or(0, |f| f.population);
+    let subscriber_hours: f64 = fleet
+        .as_ref()
+        .map_or(0.0, |f| f.per_op.iter().map(|(_, s)| s.sub_hours()).sum());
     eprintln!(
         "campaign done in {:.1?}: {} test records, {} KPI samples",
         campaign_elapsed,
@@ -442,7 +467,7 @@ fn main() {
                 if i >= wanted.len() {
                     break;
                 }
-                let text = render_one(&wanted[i], &campaign, &ix, fig_jobs);
+                let text = render_one(&wanted[i], &campaign, &ix, fleet.as_ref(), fig_jobs);
                 *slots[i].lock().expect("render slot poisoned") = Some(text);
             });
         }
@@ -470,14 +495,22 @@ fn main() {
             fig_jobs,
             export_elapsed.as_secs_f64(),
         );
+        if fleet_population > 0 {
+            eprintln!(
+                "fleet: {fleet_population} subscribers, {subscriber_hours:.0} subscriber-hours \
+                 ({:.0}/s)",
+                subscriber_hours / campaign_elapsed.as_secs_f64()
+            );
+        }
     }
     if let Some(path) = timings_json {
         let total = campaign_elapsed + index_elapsed + figures_elapsed + export_elapsed;
         let json = format!(
-            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"export_jobs\": {export_jobs},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"kpi_samples\": {kpi_samples},\n  \"samples_per_s\": {:.1},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6},\n  \"total_s\": {:.6}\n}}\n",
+            "{{\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"fig_jobs\": {fig_jobs},\n  \"export_jobs\": {export_jobs},\n  \"population\": {fleet_population},\n  \"artifacts\": {},\n  \"campaign_s\": {:.6},\n  \"kpi_samples\": {kpi_samples},\n  \"samples_per_s\": {:.1},\n  \"subscriber_hours_per_s\": {:.1},\n  \"index_build_s\": {:.6},\n  \"figures_s\": {:.6},\n  \"export_s\": {:.6},\n  \"total_s\": {:.6}\n}}\n",
             wanted.len(),
             campaign_elapsed.as_secs_f64(),
             kpi_samples as f64 / campaign_elapsed.as_secs_f64(),
+            subscriber_hours / campaign_elapsed.as_secs_f64(),
             index_elapsed.as_secs_f64(),
             figures_elapsed.as_secs_f64(),
             export_elapsed.as_secs_f64(),
@@ -492,6 +525,7 @@ fn render_one(
     id: &str,
     campaign: &wheels_campaign::Campaign,
     ix: &AnalysisIndex<'_>,
+    fleet: Option<&wheels_campaign::FleetSummary>,
     fig_jobs: usize,
 ) -> String {
     let db = ix.db();
@@ -533,6 +567,7 @@ fn render_one(
         "fig15" => figs::fig15_video::compute(ix).render(),
         "fig16" => figs::fig16_gaming::compute(ix).render(),
         "ext-mptcp" => figs::ext_multipath::compute(ix).render(),
+        "ext-fleet" => figs::ext_fleet::compute(ix, fleet).render(),
         "report" => {
             wheels_analysis::report::generate_jobs(ix, campaign.plan().route(), fig_jobs)
         }

@@ -85,18 +85,24 @@ impl Default for FaultOpts {
 
 /// [`run_campaign_jobs`] under supervision: returns the dataset plus the
 /// per-unit integrity report, or a [`CampaignAborted`] if `fail_fast` is
-/// set and a unit was lost. With the default [`FaultOpts`], the dataset
-/// is byte-identical to [`run_campaign_jobs`].
+/// set and a unit was lost. With the default [`FaultOpts`] and no
+/// `population` override, the dataset is byte-identical to
+/// [`run_campaign_jobs`]. `population` maps to
+/// [`wheels_campaign::CampaignConfig::population`]: `None`/`Some(0)` run
+/// the strict fleetless paths, `Some(n)` drives the hidden load with `n`
+/// seeded subscribers.
 pub fn run_campaign_supervised(
     scale: ReproScale,
     seed: u64,
     jobs: usize,
     opts: FaultOpts,
+    population: Option<u64>,
 ) -> Result<(Campaign, CampaignOutcome), CampaignAborted> {
     let mut cfg = scale.config(seed);
     cfg.fault_profile = opts.profile;
     cfg.max_retries = opts.max_retries;
     cfg.fail_fast = opts.fail_fast;
+    cfg.population = population;
     let campaign = Campaign::new(cfg);
     let outcome = campaign.run_supervised_jobs(jobs)?;
     Ok((campaign, outcome))
@@ -113,11 +119,13 @@ pub fn run_scenario_supervised(
     seed: u64,
     jobs: usize,
     opts: FaultOpts,
+    population: Option<u64>,
 ) -> Result<(Campaign, CampaignOutcome), CampaignAborted> {
     let mut cfg = scale.config(seed);
     cfg.fault_profile = opts.profile;
     cfg.max_retries = opts.max_retries;
     cfg.fail_fast = opts.fail_fast;
+    cfg.population = population;
     let campaign = Campaign::from_spec(spec, cfg);
     let outcome = campaign.run_supervised_jobs(jobs)?;
     Ok((campaign, outcome))
@@ -131,12 +139,14 @@ pub fn run_campaign_checkpointed(
     seed: u64,
     jobs: usize,
     fault_opts: FaultOpts,
+    population: Option<u64>,
     opts: &CheckpointOptions,
 ) -> Result<(Campaign, CampaignOutcome), CampaignError> {
     let mut cfg = scale.config(seed);
     cfg.fault_profile = fault_opts.profile;
     cfg.max_retries = fault_opts.max_retries;
     cfg.fail_fast = fault_opts.fail_fast;
+    cfg.population = population;
     let campaign = Campaign::new(cfg);
     let outcome = campaign.run_checkpointed_jobs(jobs, opts)?;
     Ok((campaign, outcome))
@@ -154,12 +164,14 @@ pub fn run_scenario_checkpointed(
     seed: u64,
     jobs: usize,
     fault_opts: FaultOpts,
+    population: Option<u64>,
     opts: &CheckpointOptions,
 ) -> Result<(Campaign, CampaignOutcome), CampaignError> {
     let mut cfg = scale.config(seed);
     cfg.fault_profile = fault_opts.profile;
     cfg.max_retries = fault_opts.max_retries;
     cfg.fail_fast = fault_opts.fail_fast;
+    cfg.population = population;
     let campaign = Campaign::from_spec(spec, cfg);
     let outcome = campaign.run_checkpointed_jobs(jobs, opts)?;
     Ok((campaign, outcome))
@@ -173,7 +185,7 @@ pub const EXPERIMENTS: &[&str] = &[
 
 /// Extension experiments beyond the paper's artifacts (run with
 /// `repro ext-mptcp`, not included in `all`).
-pub const EXTENSIONS: &[&str] = &["ext-mptcp"];
+pub const EXTENSIONS: &[&str] = &["ext-mptcp", "ext-fleet"];
 
 #[cfg(test)]
 mod tests {
@@ -189,7 +201,7 @@ mod tests {
     fn supervised_default_opts_match_plain_run() {
         let (_c, db) = run_campaign(ReproScale::Smoke, 1);
         let (_c2, outcome) =
-            run_campaign_supervised(ReproScale::Smoke, 1, 1, FaultOpts::default())
+            run_campaign_supervised(ReproScale::Smoke, 1, 1, FaultOpts::default(), None)
                 .expect("no faults, no abort");
         assert_eq!(db.records.len(), outcome.db.records.len());
         assert_eq!(outcome.integrity.lost_count(), 0);

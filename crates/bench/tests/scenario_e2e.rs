@@ -14,7 +14,7 @@ fn non_paper_scenarios_run_end_to_end() {
             continue;
         }
         let (campaign, outcome) =
-            run_scenario_supervised(&spec, ReproScale::Smoke, 7, 1, FaultOpts::default())
+            run_scenario_supervised(&spec, ReproScale::Smoke, 7, 1, FaultOpts::default(), None)
                 .expect("scenario campaign completes");
         let db = outcome.db;
         assert!(!db.records.is_empty(), "{}: no records", spec.name);

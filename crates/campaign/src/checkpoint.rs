@@ -34,6 +34,7 @@ use std::path::Path;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use wheels_fleet::FleetUnitSketch;
 use wheels_ran::operator::Operator;
 use wheels_xcal::database::TestRecord;
 use wheels_xcal::handover_logger::PassiveLogger;
@@ -164,6 +165,10 @@ pub fn world_hash(spec: &ScenarioSpec, cfg: &CampaignConfig) -> u64 {
     absorb(cfg.snapshot_tick_s.to_bits());
     absorb(cfg.gap_s.to_bits());
     absorb(u64::from(cfg.max_retries));
+    // The population override is part of the world: two absorbs so
+    // `None` cannot collide with any `Some(n)`.
+    absorb(u64::from(cfg.population.is_some()));
+    absorb(cfg.population.unwrap_or(0));
     h = fnv1a64(cfg.fault_profile.label().as_bytes()) ^ h.rotate_left(17);
     h
 }
@@ -181,6 +186,10 @@ pub struct UnitCheckpoint {
     pub records: Vec<TestRecord>,
     /// The shard's passive-logger output, if any.
     pub passive: Option<(Operator, PassiveLogger)>,
+    /// The shard's fleet-load sketch (drive units of fleet-enabled
+    /// campaigns). Optional in the wire format, so a payload without the
+    /// field restores as `None`.
+    pub fleet: Option<FleetUnitSketch>,
 }
 
 impl UnitCheckpoint {
@@ -192,12 +201,14 @@ impl UnitCheckpoint {
                 report: outcome.report.clone(),
                 records: shard.records.clone(),
                 passive: shard.passive.clone(),
+                fleet: shard.fleet.clone(),
             },
             None => UnitCheckpoint {
                 has_shard: false,
                 report: outcome.report.clone(),
                 records: Vec::new(),
                 passive: None,
+                fleet: None,
             },
         }
     }
@@ -208,6 +219,7 @@ impl UnitCheckpoint {
             shard: self.has_shard.then(|| Shard {
                 records: self.records,
                 passive: self.passive,
+                fleet: self.fleet,
             }),
             report: self.report,
         }

@@ -30,6 +30,12 @@ pub struct CampaignConfig {
     /// Supervisor retry budget per work unit: a unit whose attempts all
     /// abort is marked `Lost` after `max_retries + 1` tries.
     pub max_retries: u32,
+    /// Panel-total subscriber population override. `None` defers to the
+    /// scenario's `subscribers` axis; `Some(0)` forces the fleet off;
+    /// `Some(n)` overrides (or enables, with default demand mix) a fleet
+    /// of `n` subscribers. `None`/0 is a strict no-op: the run is
+    /// byte-identical to a build without the fleet subsystem.
+    pub population: Option<u64>,
     /// Abort the whole campaign if any unit ends `Lost` (only honored by
     /// the supervised entry points; `run`/`run_jobs` always tolerate).
     pub fail_fast: bool,
@@ -51,6 +57,7 @@ impl Default for CampaignConfig {
             fault_profile: FaultProfile::None,
             max_retries: 2,
             fail_fast: false,
+            population: None,
         }
     }
 }

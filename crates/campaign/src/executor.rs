@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+use wheels_fleet::FleetUnitSketch;
 use wheels_netsim::faults::{Fault, FaultPlan, ProcessKill};
 use wheels_ran::operator::Operator;
 use wheels_xcal::database::{ConsolidatedDb, TestRecord};
@@ -92,6 +93,9 @@ pub struct Shard {
     pub records: Vec<TestRecord>,
     /// Passive logger output (passive units only).
     pub passive: Option<(Operator, PassiveLogger)>,
+    /// Streaming fleet-load summary folded over the unit's time span
+    /// (drive units of fleet-enabled campaigns only).
+    pub fleet: Option<FleetUnitSketch>,
 }
 
 /// A supervised unit's result: the shard (absent for lost units) plus its

@@ -41,8 +41,9 @@ pub use config::CampaignConfig;
 pub use executor::{merge_shard_slots, merge_shards, ExecInterrupt, Shard, WorkUnit};
 pub use integrity::{IntegrityReport, ResumeReport, UnitError, UnitReport, UnitStatus};
 pub use runner::{
-    Campaign, CampaignAborted, CampaignError, CampaignOutcome, CheckpointOptions,
+    Campaign, CampaignAborted, CampaignError, CampaignOutcome, CheckpointOptions, FleetSummary,
 };
-pub use scenario::{ScenarioSpec, ScenarioWorld};
+pub use scenario::{LoadScaleSpec, ScenarioSpec, ScenarioWorld, SubscriberSpec};
+pub use wheels_fleet::FleetUnitSketch;
 pub use stats::Table1;
 pub use wheels_netsim::faults::{FaultProfile, ProcessKill};

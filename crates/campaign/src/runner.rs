@@ -14,11 +14,14 @@ use wheels_netsim::bulk::{BulkTransferTest, ThroughputSample};
 use wheels_netsim::ping::{PingLinkState, RttTest};
 use wheels_netsim::rtt::RttModel;
 use wheels_netsim::server::{Server, ServerSelector};
+use wheels_fleet::FleetUnitSketch;
 use wheels_ran::cell::CellDb;
 use wheels_ran::deployment::{build_all, build_ops};
+use wheels_ran::fleet::{FleetLoad, FleetParams};
 use wheels_ran::handover::HandoverEvent;
 use wheels_ran::load::LoadParams;
 use wheels_ran::operator::Operator;
+use wheels_ran::tuning::OperatorTuning;
 use wheels_ran::policy::TrafficDemand;
 use wheels_ran::ue::{LinkSnapshot, UeParams, UeRadio};
 use wheels_ran::Direction;
@@ -76,6 +79,21 @@ pub struct CampaignOutcome {
     /// [`IntegrityReport::resume`] is exported only when the scan saw
     /// damage; this one is always present on resumed runs, for the CLI.)
     pub resume: Option<ResumeReport>,
+    /// Merged fleet ground truth, `None` when the campaign ran without a
+    /// subscriber population.
+    pub fleet: Option<FleetSummary>,
+}
+
+/// The fleet's ground-truth load summary for a whole campaign: the
+/// panel-total population plus one merged sketch per operator, canonical
+/// panel order. Per-unit sketches fold in canonical unit order, so the
+/// summary is byte-identical at any `--jobs` and across crash + resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Panel-total subscriber population.
+    pub population: u64,
+    /// Per-operator merged sketches, panel order.
+    pub per_op: Vec<(Operator, FleetUnitSketch)>,
 }
 
 /// A fail-fast abort: some unit was lost and
@@ -207,6 +225,11 @@ pub struct Campaign {
     /// Per-operator edge-server entitlement, [`Campaign::ops`] order.
     pub(crate) edge: Vec<bool>,
     pub(crate) dbs: Vec<Arc<CellDb>>,
+    /// Per-operator tuning (load scales), [`Campaign::ops`] order.
+    pub(crate) tunings: Vec<OperatorTuning>,
+    /// Per-operator fleet load models, [`Campaign::ops`] order; all
+    /// `None` when the campaign has no subscriber population.
+    pub(crate) fleet: Vec<Option<Arc<FleetLoad>>>,
     pub(crate) selector: ServerSelector,
     pub(crate) sched: Schedule,
     /// Hash of the world definition (scenario spec + output-affecting
@@ -221,16 +244,20 @@ impl Campaign {
     /// [`ScenarioSpec::paper`] (a test asserts byte-identity).
     pub fn new(cfg: CampaignConfig) -> Self {
         let plan = DrivePlan::cross_country(cfg.seed);
-        let dbs = build_all(plan.route(), cfg.seed)
+        let dbs: Vec<Arc<CellDb>> = build_all(plan.route(), cfg.seed)
             .into_iter()
             .map(Arc::new)
             .collect();
         let world_hash = checkpoint::world_hash(&ScenarioSpec::paper(), &cfg);
+        let ops = Operator::ALL.to_vec();
+        let fleet = build_fleet(&cfg, None, &ops, &dbs);
         Campaign {
             cfg,
             plan,
-            ops: Operator::ALL.to_vec(),
-            edge: Operator::ALL.iter().map(|op| op.has_edge_servers()).collect(),
+            edge: ops.iter().map(|op| op.has_edge_servers()).collect(),
+            tunings: ops.iter().map(|_| OperatorTuning::NEUTRAL).collect(),
+            fleet,
+            ops,
             dbs,
             selector: ServerSelector::new(),
             sched: Schedule::paper(),
@@ -248,16 +275,20 @@ impl Campaign {
     pub fn from_spec(spec: &ScenarioSpec, cfg: CampaignConfig) -> Self {
         let world = spec.build(cfg.seed);
         let panel: Vec<_> = world.ops.iter().map(|&(op, tuning, _)| (op, tuning)).collect();
-        let dbs = build_ops(world.plan.route(), cfg.seed, &panel)
+        let dbs: Vec<Arc<CellDb>> = build_ops(world.plan.route(), cfg.seed, &panel)
             .into_iter()
             .map(Arc::new)
             .collect();
         let world_hash = checkpoint::world_hash(spec, &cfg);
+        let ops: Vec<Operator> = world.ops.iter().map(|&(op, _, _)| op).collect();
+        let fleet = build_fleet(&cfg, world.subscribers, &ops, &dbs);
         Campaign {
             cfg,
             plan: world.plan,
-            ops: world.ops.iter().map(|&(op, _, _)| op).collect(),
             edge: world.ops.iter().map(|&(_, _, e)| e).collect(),
+            tunings: world.ops.iter().map(|&(_, t, _)| t).collect(),
+            fleet,
+            ops,
             dbs,
             selector: world.selector,
             sched: world.schedule,
@@ -288,6 +319,35 @@ impl Campaign {
             .position(|&o| o == op)
             .expect("operator in panel");
         Arc::clone(&self.dbs[idx])
+    }
+
+    /// One operator's tuning.
+    fn tuning_for(&self, op: Operator) -> &OperatorTuning {
+        let idx = self
+            .ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("operator in panel");
+        &self.tunings[idx]
+    }
+
+    /// One operator's fleet load model, when the campaign has one.
+    fn fleet_for(&self, op: Operator) -> Option<Arc<FleetLoad>> {
+        let idx = self
+            .ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("operator in panel");
+        self.fleet[idx].clone()
+    }
+
+    /// The panel-total subscriber population (0 without a fleet).
+    pub fn fleet_population(&self) -> u64 {
+        self.fleet
+            .iter()
+            .flatten()
+            .map(|f| f.population())
+            .sum()
     }
 
     /// One operator's edge-server entitlement.
@@ -354,19 +414,54 @@ impl Campaign {
     fn execute_and_merge(&self, jobs: usize) -> CampaignOutcome {
         let units = self.plan_units();
         let outcomes = self.execute_units(&units, jobs);
-        self.fold_outcomes(outcomes)
+        self.fold_outcomes(&units, outcomes)
     }
 
     /// Fold per-unit outcomes (canonical order) into the merged dataset
     /// and integrity report. Restored and freshly computed outcomes fold
     /// identically — this is where resume regains byte-identity.
-    fn fold_outcomes(&self, outcomes: Vec<UnitOutcome>) -> CampaignOutcome {
+    fn fold_outcomes(&self, units: &[WorkUnit], outcomes: Vec<UnitOutcome>) -> CampaignOutcome {
         let mut slots = Vec::with_capacity(outcomes.len());
         let mut reports = Vec::with_capacity(outcomes.len());
-        for o in outcomes {
+        // Fleet sketches merge in canonical unit order (`outcomes` is in
+        // `units` order regardless of worker scheduling), grouped by the
+        // unit's operator.
+        let mut per_op: Vec<Option<FleetUnitSketch>> = self.ops.iter().map(|_| None).collect();
+        for (unit, mut o) in units.iter().zip(outcomes) {
+            if let Some(shard) = o.shard.as_mut() {
+                if let Some(sketch) = shard.fleet.take() {
+                    let op = match *unit {
+                        WorkUnit::Drive { op, .. }
+                        | WorkUnit::Static { op, .. }
+                        | WorkUnit::Passive { op } => op,
+                    };
+                    let idx = self
+                        .ops
+                        .iter()
+                        .position(|&o2| o2 == op)
+                        .expect("operator in panel");
+                    match &mut per_op[idx] {
+                        Some(acc) => acc.merge(&sketch),
+                        slot => *slot = Some(sketch),
+                    }
+                }
+            }
             slots.push(o.shard);
             reports.push(o.report);
         }
+        let fleet = if self.fleet.iter().any(Option::is_some) {
+            Some(FleetSummary {
+                population: self.fleet_population(),
+                per_op: self
+                    .ops
+                    .iter()
+                    .zip(per_op)
+                    .map(|(&op, s)| (op, s.unwrap_or_else(FleetUnitSketch::empty)))
+                    .collect(),
+            })
+        } else {
+            None
+        };
         CampaignOutcome {
             db: merge_shard_slots(slots),
             integrity: IntegrityReport {
@@ -377,6 +472,7 @@ impl Campaign {
                 resume: None,
             },
             resume: None,
+            fleet,
         }
     }
 
@@ -463,7 +559,7 @@ impl Campaign {
                 ExecInterrupt::Io { context, error } => CampaignError::Io { context, error },
                 ExecInterrupt::Killed { committed } => CampaignError::Killed { committed },
             })?;
-        let mut outcome = self.fold_outcomes(outcomes);
+        let mut outcome = self.fold_outcomes(&units, outcomes);
         if let Some(r) = resume_report {
             // Export the accounting only when the scan rejected records:
             // a clean resume's integrity report must stay byte-identical
@@ -541,6 +637,7 @@ impl Campaign {
             WorkUnit::Passive { op } => Shard {
                 records: Vec::new(),
                 passive: Some((op, self.run_passive(op))),
+                fleet: None,
             },
         }
     }
@@ -552,7 +649,11 @@ impl Campaign {
         let mut phone = Phone::new(
             op,
             self.db_for(op),
-            UeParams::default(),
+            UeParams {
+                load: LoadParams::driving().scaled(&self.tuning_for(op).load),
+                fleet: self.fleet_for(op),
+                ..Default::default()
+            },
             rng::derive_seed(self.cfg.seed, rng::DOMAIN_PHONE, &[op as u64, day_idx as u64]),
         );
         // The three phones sit in the same vehicle and run the same
@@ -571,9 +672,19 @@ impl Campaign {
                 t += cycle_len;
             }
         }
+        // The drive unit is the fleet's accounting unit: it folds the
+        // operator's ground-truth load over the day's span (static and
+        // passive units fold nothing, so campaign totals count each
+        // subscriber-hour exactly once).
+        let fleet = self.fleet_for(op).map(|f| {
+            let mut sketch = FleetUnitSketch::empty();
+            f.fold_span(day.start_time_s as f64, day.end_time_s as f64, &mut sketch);
+            sketch
+        });
         Shard {
             records,
             passive: None,
+            fleet,
         }
     }
 
@@ -966,8 +1077,9 @@ impl Campaign {
                 op,
                 Arc::clone(&db),
                 UeParams {
-                    load: LoadParams::static_urban(),
+                    load: LoadParams::static_urban().scaled(&self.tuning_for(op).load),
                     clutter_scale: 0.25,
+                    fleet: self.fleet_for(op),
                     ..Default::default()
                 },
                 seed,
@@ -1007,6 +1119,7 @@ impl Campaign {
         Shard {
             records,
             passive: None,
+            fleet: None,
         }
     }
 
@@ -1015,7 +1128,11 @@ impl Campaign {
         let mut ue = UeRadio::new(
             op,
             self.db_for(op),
-            UeParams::default(),
+            UeParams {
+                load: LoadParams::driving().scaled(&self.tuning_for(op).load),
+                fleet: self.fleet_for(op),
+                ..Default::default()
+            },
             rng::derive_seed(self.cfg.seed, rng::DOMAIN_PASSIVE, &[op as u64]),
         );
         let mut log = PassiveLogger::new();
@@ -1030,6 +1147,46 @@ impl Campaign {
         }
         log
     }
+}
+
+/// Compile the effective fleet template — the scenario's `subscribers`
+/// axis overridden by [`CampaignConfig::population`] — into per-operator
+/// load models. The panel total is apportioned evenly with the remainder
+/// going to earlier slots (so the sum is exact), and each operator's
+/// attachment stream is derived from the campaign seed under
+/// [`rng::DOMAIN_FLEET`]. Returns all `None` (the strict no-op path)
+/// when the effective population is zero.
+fn build_fleet(
+    cfg: &CampaignConfig,
+    template: Option<FleetParams>,
+    ops: &[Operator],
+    dbs: &[Arc<CellDb>],
+) -> Vec<Option<Arc<FleetLoad>>> {
+    let params = match cfg.population {
+        Some(0) => None,
+        Some(n) => {
+            let mut p = template.unwrap_or_default();
+            p.population = n;
+            Some(p)
+        }
+        None => template.filter(|p| p.population > 0),
+    };
+    let Some(params) = params else {
+        return ops.iter().map(|_| None).collect();
+    };
+    let n = ops.len() as u64;
+    let base = params.population / n;
+    let rem = params.population % n;
+    ops.iter()
+        .zip(dbs)
+        .enumerate()
+        .map(|(i, (&op, db))| {
+            let mut p = params.clone();
+            p.population = base + u64::from((i as u64) < rem);
+            let seed = rng::derive_seed(cfg.seed, rng::DOMAIN_FLEET, &[op as u64]);
+            Some(Arc::new(FleetLoad::build(op, db, &p, seed)))
+        })
+        .collect()
 }
 
 /// Downsample raw snapshots into 500 ms KPI windows, joining throughput

@@ -27,6 +27,8 @@ use wheels_netsim::server::{
     Server, ServerKind, ServerSelector, CLOUD_CALIFORNIA, CLOUD_OHIO, EDGE_RADIUS_M,
 };
 use wheels_radio::band::Technology;
+use wheels_ran::fleet::FleetParams;
+use wheels_ran::load::LoadScale;
 use wheels_ran::operator::Operator;
 use wheels_ran::tuning::OperatorTuning;
 
@@ -93,6 +95,79 @@ pub struct TechScale {
     pub promotion: f64,
 }
 
+/// Multiplicative overrides on an operator's hidden load process (see
+/// [`wheels_ran::load::LoadScale`]); every factor 1.0 is an exact no-op.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadScaleSpec {
+    /// Multiplier on the median scheduler share.
+    pub median: f64,
+    /// Multiplier on the log-share standard deviation.
+    pub sigma: f64,
+    /// Multiplier on the deep-congestion arrival rate.
+    pub congestion: f64,
+}
+
+/// The synthetic subscriber population living on the scenario's cells —
+/// the fleet axis. `population: 0` (or an absent `subscribers` field) is
+/// a strict no-op: no fleet state is built and every probe sees the
+/// unmodified hidden load process.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SubscriberSpec {
+    /// Total subscribers across the operator panel (the designed
+    /// envelope is 10^3..=10^6), apportioned evenly over operators.
+    pub population: u64,
+    /// Demand-mix fraction of video-dominated subscribers.
+    pub mix_video: f64,
+    /// Demand-mix fraction of web-browsing subscribers.
+    pub mix_web: f64,
+    /// Demand-mix fraction of background-only subscribers.
+    pub mix_background: f64,
+    /// Optional 24-entry hour-of-day activity profile in [0, 1]; `None`
+    /// takes the built-in busy-hour curve.
+    pub diurnal: Option<Vec<f64>>,
+    /// Optional log-normal σ of the per-cell attachment weights; `None`
+    /// takes the default spatial clustering (0.6).
+    pub attach_sigma: Option<f64>,
+}
+
+impl SubscriberSpec {
+    /// A population with the default demand mix and diurnal profile.
+    pub fn with_population(population: u64) -> Self {
+        SubscriberSpec {
+            population,
+            mix_video: 0.55,
+            mix_web: 0.35,
+            mix_background: 0.10,
+            diurnal: None,
+            attach_sigma: None,
+        }
+    }
+
+    /// Compile into the RAN's fleet parameters (population is the panel
+    /// total here; the campaign apportions it per operator).
+    pub fn fleet_params(&self) -> FleetParams {
+        let mix = (self.mix_video + self.mix_web + self.mix_background).max(1e-9);
+        let mut p = FleetParams {
+            population: self.population,
+            demand_per_sub_mbps: wheels_ran::fleet::demand_per_sub_mbps(
+                self.mix_video / mix,
+                self.mix_web / mix,
+                self.mix_background / mix,
+            ),
+            ..FleetParams::default()
+        };
+        if let Some(d) = &self.diurnal {
+            for (slot, v) in p.diurnal.iter_mut().zip(d) {
+                *slot = *v;
+            }
+        }
+        if let Some(sig) = self.attach_sigma {
+            p.attach_sigma = sig;
+        }
+        p
+    }
+}
+
 /// One operator of the scenario panel.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OperatorSpec {
@@ -104,6 +179,9 @@ pub struct OperatorSpec {
     /// Whether this operator's tests may use edge servers; `None` takes
     /// the slot's default (only Verizon in the paper).
     pub edge_servers: Option<bool>,
+    /// Declarative congestion tuning of the hidden load process; `None`
+    /// is the neutral (exact no-op) scale.
+    pub load: Option<LoadScaleSpec>,
 }
 
 /// One cloud datacenter of the server fleet.
@@ -170,6 +248,9 @@ pub struct ScenarioSpec {
     pub fleet: FleetSpec,
     /// Round-robin schedule.
     pub schedule: ScheduleSpec,
+    /// Synthetic subscriber population (the fleet axis); `None` or
+    /// `population: 0` is a strict no-op on the probe dataset.
+    pub subscribers: Option<SubscriberSpec>,
 }
 
 /// The compiled round-robin parameters a [`Campaign`](crate::Campaign)
@@ -222,6 +303,9 @@ pub struct ScenarioWorld {
     pub selector: ServerSelector,
     /// The round-robin schedule.
     pub schedule: Schedule,
+    /// Compiled subscriber-fleet template (panel-total population), when
+    /// the spec declares a non-zero population.
+    pub subscribers: Option<FleetParams>,
 }
 
 /// Intern a string into a `&'static str`, deduplicating so repeated
@@ -292,6 +376,7 @@ impl ScenarioSpec {
                     slot: op.slot_key().to_string(),
                     scales: Vec::new(),
                     edge_servers: None,
+                    load: None,
                 })
                 .collect(),
             fleet: FleetSpec {
@@ -316,6 +401,7 @@ impl ScenarioSpec {
                 run_static: true,
                 run_passive: true,
             },
+            subscribers: None,
         }
     }
 
@@ -384,6 +470,7 @@ impl ScenarioSpec {
                         },
                     ],
                     edge_servers: None,
+                    load: None,
                 },
                 OperatorSpec {
                     slot: "att".to_string(),
@@ -402,6 +489,7 @@ impl ScenarioSpec {
                         },
                     ],
                     edge_servers: Some(true),
+                    load: None,
                 },
             ],
             fleet: FleetSpec {
@@ -423,6 +511,7 @@ impl ScenarioSpec {
                 run_static: true,
                 run_passive: true,
             },
+            subscribers: None,
         }
     }
 
@@ -481,6 +570,7 @@ impl ScenarioSpec {
                         },
                     ],
                     edge_servers: Some(true),
+                    load: None,
                 },
                 OperatorSpec {
                     slot: "tmobile".to_string(),
@@ -493,6 +583,7 @@ impl ScenarioSpec {
                         },
                     ],
                     edge_servers: Some(true),
+                    load: None,
                 },
                 OperatorSpec {
                     slot: "att".to_string(),
@@ -511,6 +602,7 @@ impl ScenarioSpec {
                         },
                     ],
                     edge_servers: Some(true),
+                    load: None,
                 },
             ],
             fleet: FleetSpec {
@@ -532,6 +624,7 @@ impl ScenarioSpec {
                 run_static: true,
                 run_passive: true,
             },
+            subscribers: None,
         }
     }
 
@@ -602,6 +695,14 @@ impl ScenarioSpec {
                     return Err(format!("scales for {:?} out of range", s.tech));
                 }
             }
+            if let Some(l) = &o.load {
+                if !(l.median.is_finite() && l.median > 0.0)
+                    || !(l.sigma.is_finite() && l.sigma >= 0.0)
+                    || !(l.congestion.is_finite() && l.congestion >= 0.0)
+                {
+                    return Err(format!("load scale for slot {:?} out of range", o.slot));
+                }
+            }
         }
         let mut slots: Vec<&str> = self.operators.iter().map(|o| o.slot.as_str()).collect();
         slots.sort_unstable();
@@ -643,6 +744,42 @@ impl ScenarioSpec {
         ] {
             if !(v.is_finite() && v > 0.0) {
                 return Err(format!("schedule {label} must be positive, got {v}"));
+            }
+        }
+        if let Some(sub) = &self.subscribers {
+            if sub.population > 100_000_000 {
+                return Err(format!(
+                    "population {} is beyond the designed envelope (<= 1e8)",
+                    sub.population
+                ));
+            }
+            for (label, v) in [
+                ("mix_video", sub.mix_video),
+                ("mix_web", sub.mix_web),
+                ("mix_background", sub.mix_background),
+            ] {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("subscribers.{label} must be >= 0, got {v}"));
+                }
+            }
+            if sub.mix_video + sub.mix_web + sub.mix_background <= 0.0 {
+                return Err("subscriber demand mix sums to zero".to_string());
+            }
+            if let Some(d) = &sub.diurnal {
+                if d.len() != 24 {
+                    return Err(format!("diurnal profile needs 24 entries, got {}", d.len()));
+                }
+                if d.iter().any(|v| !(v.is_finite() && (0.0..=1.0).contains(v))) {
+                    return Err("diurnal entries must lie in [0, 1]".to_string());
+                }
+                if d.iter().all(|&v| v == 0.0) {
+                    return Err("diurnal profile is identically zero".to_string());
+                }
+            }
+            if let Some(sig) = sub.attach_sigma {
+                if !(sig.is_finite() && (0.0..=3.0).contains(&sig)) {
+                    return Err(format!("attach_sigma must lie in [0, 3], got {sig}"));
+                }
             }
         }
         Ok(())
@@ -695,6 +832,13 @@ impl ScenarioSpec {
                     tuning.spacing_scale[ti] = s.spacing;
                     tuning.promotion_scale[ti] = s.promotion;
                 }
+                if let Some(l) = &o.load {
+                    tuning.load = LoadScale {
+                        median_scale: l.median,
+                        sigma_scale: l.sigma,
+                        congestion_scale: l.congestion,
+                    };
+                }
                 (op, tuning, o.edge_servers.unwrap_or(op.has_edge_servers()))
             })
             .collect();
@@ -728,6 +872,11 @@ impl ScenarioSpec {
                 run_static: self.schedule.run_static,
                 run_passive: self.schedule.run_passive,
             },
+            subscribers: self
+                .subscribers
+                .as_ref()
+                .filter(|s| s.population > 0)
+                .map(SubscriberSpec::fleet_params),
         }
     }
 }

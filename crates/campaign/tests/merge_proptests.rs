@@ -75,6 +75,7 @@ proptest! {
                     .map(|(i, &t)| record(i as u32, t, Operator::ALL[i % 3]))
                     .collect(),
                 passive: None,
+                fleet: None,
             })
             .collect();
         let db = merge_shards(shards);
@@ -101,6 +102,7 @@ proptest! {
                     .map(|i| record(i as u32, 1_000.0, Operator::ALL[s % 3]))
                     .collect(),
                 passive: None,
+                fleet: None,
             })
             .collect();
         let db = merge_shards(shards);
@@ -129,6 +131,7 @@ proptest! {
                             .map(|(i, &t)| record(i as u32, t, Operator::ALL[i % 3]))
                             .collect(),
                         passive: None,
+                        fleet: None,
                     })
                 })
                 .collect()
@@ -163,6 +166,7 @@ proptest! {
             .map(|(&op, _)| Shard {
                 records: Vec::new(),
                 passive: Some((op, PassiveLogger::new())),
+                fleet: None,
             })
             .collect();
         let expected: Vec<Operator> = Operator::ALL

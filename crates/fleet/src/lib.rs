@@ -1,0 +1,26 @@
+//! # wheels-fleet
+//!
+//! Streaming, mergeable summaries for fleet-scale subscriber populations.
+//!
+//! At 10^6 synthetic subscribers, per-subscriber sample storage is out of
+//! the question — a campaign work unit instead folds its share of the
+//! population into a fixed-size [`sketch::FleetUnitSketch`]: integer
+//! counters, per-(cell × tech × hour) accumulators and a fixed-bin load
+//! histogram. Every accumulator is a `u64`, with real-valued inputs
+//! converted to fixed-point exactly once at observation time, so merging
+//! two sketches is a plain integer addition: exactly associative,
+//! commutative, and byte-reproducible at any worker count when folded in
+//! the campaign's canonical unit order.
+//!
+//! The crate is dependency-free (serde only) so the RAN, campaign and
+//! analysis layers can all speak the same sketch types without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sketch;
+
+pub use sketch::{
+    load_bin, CellAcc, CellHourObs, FleetUnitSketch, LoadHistogram, TechHourAcc, HOURS_PER_DAY,
+    LOAD_BINS, MICRO, TECH_HOUR_SLOTS, TECH_SLOTS, UTIL_CLAMP,
+};

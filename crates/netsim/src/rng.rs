@@ -24,6 +24,9 @@ pub const DOMAIN_PASSIVE: u64 = 0x5041_5353_4956_0004; // "PASSIV"
 /// Domain tag for per-`(unit, attempt)` fault-injection decisions (see
 /// [`crate::faults`]).
 pub const DOMAIN_FAULT: u64 = 0x4641_554C_5453_0005; // "FAULTS"
+/// Domain tag for the per-operator subscriber-fleet attachment process
+/// (keyed by operator; per-cell draws are split off inside the RAN).
+pub const DOMAIN_FLEET: u64 = 0x464C_4545_5431_0006; // "FLEET1"
 
 /// Derive a stream seed from the campaign seed, a domain tag, and the
 /// unit's key words.

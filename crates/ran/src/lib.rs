@@ -29,6 +29,7 @@
 pub mod cell;
 pub mod config;
 pub mod deployment;
+pub mod fleet;
 pub mod handover;
 pub mod load;
 pub mod operator;
@@ -39,9 +40,11 @@ pub mod ue;
 
 pub use cell::{CellDb, CellId, CellSite};
 pub use config::LinkConfig;
+pub use fleet::{FleetLoad, FleetParams};
 pub use handover::{HandoverEvent, HandoverKind};
 pub use operator::Operator;
 pub use policy::{TrafficDemand, UpgradePolicy};
+pub use load::{LoadParams, LoadScale};
 pub use tuning::OperatorTuning;
 pub use ue::{LinkSnapshot, UeRadio};
 

@@ -32,6 +32,36 @@ pub struct LoadParams {
     pub congestion_s: (f64, f64),
 }
 
+/// Multiplicative overrides for [`LoadParams`], exposed through the
+/// scenario layer's operator tuning. Like the deployment multipliers in
+/// [`crate::tuning::OperatorTuning`], the neutral scale (every factor
+/// 1.0) is an exact no-op: `x * 1.0 == x` bit-for-bit in IEEE-754, and
+/// every scaled field is re-clamped to a range it already occupied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadScale {
+    /// Multiplier on the median scheduler share.
+    pub median_scale: f64,
+    /// Multiplier on the log-share standard deviation.
+    pub sigma_scale: f64,
+    /// Multiplier on the deep-congestion arrival rate.
+    pub congestion_scale: f64,
+}
+
+impl LoadScale {
+    /// The identity scale: every factor 1.0 (exact no-op).
+    pub const NEUTRAL: LoadScale = LoadScale {
+        median_scale: 1.0,
+        sigma_scale: 1.0,
+        congestion_scale: 1.0,
+    };
+}
+
+impl Default for LoadScale {
+    fn default() -> Self {
+        Self::NEUTRAL
+    }
+}
+
 impl LoadParams {
     /// Typical driving conditions: cells shared with many users.
     pub fn driving() -> Self {
@@ -54,6 +84,19 @@ impl LoadParams {
             congestion_rate: 1.0 / 300.0,
             congestion_factor: 0.10,
             congestion_s: (5.0, 30.0),
+        }
+    }
+
+    /// Apply a [`LoadScale`], re-clamping every field to its operating
+    /// range. With [`LoadScale::NEUTRAL`] the result is bit-identical to
+    /// `self` (multiply by 1.0, clamp over a range the value already
+    /// occupies).
+    pub fn scaled(&self, s: &LoadScale) -> LoadParams {
+        LoadParams {
+            median_share: (self.median_share * s.median_scale).clamp(0.005, 1.0),
+            sigma: (self.sigma * s.sigma_scale).clamp(0.0, 3.0),
+            congestion_rate: (self.congestion_rate * s.congestion_scale).clamp(0.0, 1.0),
+            ..*self
         }
     }
 }
@@ -185,6 +228,37 @@ mod tests {
             min_share = min_share.min(p.share_at(i as f64));
         }
         assert!(min_share < 0.05, "never saw deep congestion: {min_share}");
+    }
+
+    #[test]
+    fn neutral_scale_is_bit_exact() {
+        for base in [LoadParams::driving(), LoadParams::static_urban()] {
+            let scaled = base.scaled(&LoadScale::NEUTRAL);
+            assert_eq!(scaled.median_share.to_bits(), base.median_share.to_bits());
+            assert_eq!(scaled.sigma.to_bits(), base.sigma.to_bits());
+            assert_eq!(scaled.tau_s.to_bits(), base.tau_s.to_bits());
+            assert_eq!(scaled.congestion_rate.to_bits(), base.congestion_rate.to_bits());
+            assert_eq!(scaled.congestion_factor.to_bits(), base.congestion_factor.to_bits());
+        }
+    }
+
+    #[test]
+    fn scaled_params_move_and_clamp() {
+        let base = LoadParams::driving();
+        let heavy = base.scaled(&LoadScale {
+            median_scale: 0.5,
+            sigma_scale: 1.2,
+            congestion_scale: 1000.0,
+        });
+        assert!(heavy.median_share < base.median_share);
+        assert!(heavy.sigma > base.sigma);
+        assert_eq!(heavy.congestion_rate, 1.0);
+        let floor = base.scaled(&LoadScale {
+            median_scale: 0.0,
+            sigma_scale: 1.0,
+            congestion_scale: 1.0,
+        });
+        assert_eq!(floor.median_share, 0.005);
     }
 
     #[test]

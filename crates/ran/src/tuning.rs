@@ -9,6 +9,7 @@
 //! already occupied, so the paper scenario stays byte-identical to the
 //! pre-scenario code path.
 
+use crate::load::LoadScale;
 use wheels_radio::band::Technology;
 
 /// Per-technology multiplicative overrides for one operator.
@@ -22,6 +23,10 @@ pub struct OperatorTuning {
     /// Multiplier on the upgrade-policy promotion probability,
     /// [`Technology::ALL`] order.
     pub promotion_scale: [f64; 5],
+    /// Multiplicative overrides on the hidden load process (congestion
+    /// tuning), applied to every [`crate::load::LoadParams`] the
+    /// operator's probes use.
+    pub load: LoadScale,
 }
 
 impl OperatorTuning {
@@ -30,6 +35,7 @@ impl OperatorTuning {
         coverage_scale: [1.0; 5],
         spacing_scale: [1.0; 5],
         promotion_scale: [1.0; 5],
+        load: LoadScale::NEUTRAL,
     };
 
     /// Coverage multiplier for `tech`.
@@ -73,5 +79,6 @@ mod tests {
             assert_eq!(t.spacing(tech), 1.0);
             assert_eq!(t.promotion(tech), 1.0);
         }
+        assert_eq!(t.load, LoadScale::NEUTRAL);
     }
 }

@@ -22,6 +22,7 @@ use wheels_radio::pathloss::PathLossModel;
 
 use crate::cell::{CellDb, CellId, WindowCursor};
 use crate::config::{link_config_ref, link_noise_lin, LinkConfig};
+use crate::fleet::FleetLoad;
 use crate::handover::{draw_interruption_ms, A3Tracker, HandoverEvent, HandoverKind};
 use crate::load::{LoadParams, LoadProcess};
 use crate::operator::Operator;
@@ -55,6 +56,12 @@ pub struct UeParams {
     /// (14 km) so pruning never changes output; `f64::INFINITY` disables
     /// pruning entirely (used by equivalence tests).
     pub shadow_keep_window_m: f64,
+    /// Live subscriber-fleet load, shared per operator. `None` (the
+    /// default, and the `population: 0` path) leaves the hidden
+    /// [`LoadProcess`] untouched — the exact pre-fleet behaviour. When
+    /// set, the fleet's demand calibrates the load share each probe sees
+    /// and damps promotion onto congested layers.
+    pub fleet: Option<Arc<FleetLoad>>,
 }
 
 impl Default for UeParams {
@@ -65,6 +72,7 @@ impl Default for UeParams {
             clutter_scale: 1.0,
             load_balance_ho_prob: 0.06,
             shadow_keep_window_m: 20_000.0,
+            fleet: None,
         }
     }
 }
@@ -218,7 +226,7 @@ impl UeRadio {
         let demand_changed = self.last_demand != Some(demand);
         let mut ho: Option<HandoverEvent> = None;
         if t_s >= self.next_policy_s || demand_changed || !serving_alive {
-            let target_tech = self.decide_tech(&cands, demand, drive.speed_mps);
+            let target_tech = self.decide_tech(&cands, demand, drive.speed_mps, t_s);
             self.next_policy_s =
                 t_s + self
                     .rng
@@ -335,6 +343,7 @@ impl UeRadio {
         cands: &[Option<LayerCandidate>; 5],
         demand: TrafficDemand,
         speed_mps: f64,
+        t_s: f64,
     ) -> Option<Technology> {
         if let Some(s) = self.serving {
             if cands[tech_idx(s.tech)].is_some()
@@ -364,6 +373,11 @@ impl UeRadio {
             // decision an operator faces — boost strongly.
             if matches!(demand, TrafficDemand::Backlog(_)) && speed_mps < 3.0 {
                 p = 1.0 - (1.0 - p) * 0.25;
+            }
+            // Traffic-dependent policy: a layer the fleet has loaded up
+            // attracts fewer promotions at that hour.
+            if let Some(fleet) = &self.params.fleet {
+                p *= fleet.promo_factor(tech, t_s);
             }
             if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
                 return Some(tech);
@@ -491,9 +505,20 @@ impl UeRadio {
         // why the paper's speed–throughput correlation is (weakly)
         // negative (Table 2).
         let speed_factor = 1.0 - 0.12 * (drive.speed_mps / 31.0).clamp(0.0, 1.0);
-        let share_dl = self.load_dl.share_at(t_s) * speed_factor;
-        let share_ul =
+        let mut share_dl = self.load_dl.share_at(t_s) * speed_factor;
+        let mut share_ul =
             self.load_ul.share_at(t_s) * speed_factor * ul_share_penalty(self.op, tech, drive.speed_mps);
+        // Fleet calibration: the hidden load process keeps its stochastic
+        // fluctuation shape, but its level is re-anchored to the serving
+        // cell's live demand. Runs after `share_at` so the RNG stream is
+        // identical with and without a fleet.
+        if let Some(fleet) = &self.params.fleet {
+            if !outage {
+                let m = fleet.share_factor(cell, t_s, self.params.load.median_share);
+                share_dl = (share_dl * m).clamp(0.005, 1.0);
+                share_ul = (share_ul * m).clamp(0.005, 1.0);
+            }
+        }
 
         let (cap_dl, mcs_dl) = if outage || in_handover {
             (0.0, 0)
