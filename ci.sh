@@ -4,17 +4,31 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== determinism lint =="
-# Source-level enforcement of the determinism invariant (rules D1-D5:
-# float partial_cmp sorts, hash-ordered collections, ambient clocks and
-# entropy, bare RNG construction, partial_cmp unwraps). Runs first: it
-# needs only the tiny dependency-free lint crate, so a violation fails
-# CI in seconds instead of after the full build. The fixture self-check
-# proves every rule both fires and is suppressible before the workspace
-# run is trusted, and the lint crate itself must build warning-free.
+echo "== static analysis (rules D1-D9, baseline ratchet) =="
+# Source-level enforcement of the determinism and robustness invariants
+# (D1-D6: float partial_cmp sorts, hash-ordered collections, ambient
+# clocks and entropy, bare RNG construction, partial_cmp unwraps,
+# iteration-order leaks; D7: panic surface; D8: hot-path allocation;
+# D9: RNG-domain provenance). Runs first: it needs only the tiny
+# dependency-free lint crate, so a violation fails CI in seconds
+# instead of after the full build. The fixture self-check proves every
+# rule both fires and is suppressible before the workspace run is
+# trusted, and the lint crate itself must build warning-free.
+#
+# The workspace sweep is a ratchet against lint-baseline.json: any
+# finding not in the baseline fails CI (fix it or suppress it with a
+# reasoned `lint:allow`), and any baseline entry that no longer matches
+# fails too (regenerate with --write-baseline so paid-down debt cannot
+# silently return). The machine-readable report is archived as
+# LINT_report.json next to the BENCH_*.json artifacts.
 RUSTFLAGS="-D warnings" cargo build --offline -p wheels-lint
 cargo run -q --offline -p wheels-lint -- --fixtures
-cargo run -q --offline -p wheels-lint -- crates/ src/ examples/ tests/
+lint_t0=$(date +%s%N)
+cargo run -q --offline -p wheels-lint -- \
+  --baseline lint-baseline.json --json-out LINT_report.json \
+  crates/ src/ examples/ tests/
+lint_t1=$(date +%s%N)
+echo "lint stage wall time: $(( (lint_t1 - lint_t0) / 1000000 )) ms"
 
 echo "== build (release) =="
 cargo build --release --offline

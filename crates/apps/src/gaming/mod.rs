@@ -100,8 +100,13 @@ impl GamingSession {
             t += step;
         }
         latencies.sort_by(f64::total_cmp);
-        let med = latencies[latencies.len() / 2];
-        let p95 = latencies[(latencies.len() as f64 * 0.95) as usize];
+        // Total: `len / 2` and `floor(0.95 * len)` are both in range for
+        // any nonempty vec, and a zero-step session falls back to 0.
+        let med = latencies.get(latencies.len() / 2).copied().unwrap_or(0.0);
+        let p95 = latencies
+            .get((latencies.len() as f64 * 0.95) as usize)
+            .copied()
+            .unwrap_or(med);
         GamingSummary {
             send_bitrate_mbps: bitrates.iter().sum::<f64>() / bitrates.len() as f64,
             net_latency_ms: med,

@@ -32,7 +32,7 @@ pub fn map_for_latency(frame_times: f64, compressed: bool) -> f64 {
         &MAP_NO_COMPRESSION
     };
     let bin = (frame_times.max(0.0) as usize).min(table.len() - 1);
-    table[bin]
+    table.get(bin).copied().unwrap_or(0.0)
 }
 
 /// mAP (%) for an E2E latency in ms at a given source frame rate.

@@ -38,6 +38,7 @@ impl Bba {
     /// previous rate) to get BBA-0's switching hysteresis.
     pub fn pick_memoryless(&self, buffer_s: f64, ladder: &[f64]) -> f64 {
         assert!(!ladder.is_empty(), "bitrate ladder must not be empty");
+        // lint:allow(D7): the empty-ladder panic is this API's documented contract, asserted one line above
         let (rmin, rmax) = (ladder[0], *ladder.last().expect("nonempty"));
         if buffer_s <= self.reservoir_s {
             return rmin;
@@ -66,6 +67,7 @@ impl Bba {
         let Some(prev) = prev else {
             return self.pick_memoryless(buffer_s, ladder);
         };
+        // lint:allow(D7): the empty-ladder panic is this API's documented contract, asserted above
         let (rmin, rmax) = (ladder[0], *ladder.last().expect("nonempty"));
         if buffer_s <= self.reservoir_s {
             return rmin;

@@ -229,14 +229,15 @@ impl UnitCheckpoint {
 /// Serialize one log record: header + JSON payload.
 fn encode_record(key: CheckpointKey, words: [u64; 3], payload: &[u8]) -> Vec<u8> {
     let mut rec = Vec::with_capacity(HEADER_LEN + payload.len());
+    let [unit_a, unit_b, unit_c] = words;
     for w in [
         MAGIC,
         key.world_hash,
         key.seed,
         key.scale_bits,
-        words[0],
-        words[1],
-        words[2],
+        unit_a,
+        unit_b,
+        unit_c,
         payload.len() as u64,
         fnv1a64(payload),
     ] {
@@ -300,15 +301,11 @@ impl CheckpointWriter {
 pub fn record_spans(bytes: &[u8]) -> Vec<Range<usize>> {
     let mut spans = Vec::new();
     let mut pos = 0usize;
-    while bytes.len() - pos >= HEADER_LEN {
-        let word = |i: usize| {
-            let at = pos + 8 * i;
-            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
-        };
-        if word(0) != MAGIC {
+    while let Some([magic, .., payload_len, _digest]) = read_header(bytes, pos) {
+        if magic != MAGIC {
             break;
         }
-        let payload_len = word(7) as usize;
+        let payload_len = payload_len as usize;
         let end = match pos.checked_add(HEADER_LEN + payload_len) {
             Some(e) if e <= bytes.len() => e,
             _ => break,
@@ -317,6 +314,25 @@ pub fn record_spans(bytes: &[u8]) -> Vec<Range<usize>> {
         pos = end;
     }
     spans
+}
+
+/// Read the little-endian `u64` at `bytes[at..at + 8]`. Total: returns
+/// `None` instead of panicking when fewer than eight bytes remain, so
+/// the loader loops stay panic-free even if a length guard drifts.
+fn le_word(bytes: &[u8], at: usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    let chunk: [u8; 8] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u64::from_le_bytes(chunk))
+}
+
+/// Read the nine-word record header starting at `pos`, or `None` when
+/// fewer than `HEADER_LEN` bytes remain (crash tail).
+fn read_header(bytes: &[u8], pos: usize) -> Option<[u64; 9]> {
+    let mut hdr = [0u64; 9];
+    for (i, h) in hdr.iter_mut().enumerate() {
+        *h = le_word(bytes, pos.checked_add(8 * i)?)?;
+    }
+    Some(hdr)
 }
 
 /// The result of scanning a checkpoint log for one run's records.
@@ -364,30 +380,27 @@ impl LoadedCheckpoints {
             std::collections::BTreeMap::new();
         let mut pos = 0usize;
         while pos < bytes.len() {
-            if bytes.len() - pos < HEADER_LEN {
+            let Some([magic, world_hash, seed, scale_bits, unit_a, unit_b, unit_c, payload_len, digest]) =
+                read_header(&bytes, pos)
+            else {
                 out.corrupt_records += 1;
                 out.notes
                     .push(format!("truncated header at byte {pos} (crash tail)"));
                 break;
-            }
-            let word = |i: usize| {
-                let at = pos + 8 * i;
-                u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
             };
-            if word(0) != MAGIC {
+            if magic != MAGIC {
                 out.corrupt_records += 1;
                 out.notes
                     .push(format!("bad record magic at byte {pos}; dropping remainder"));
                 break;
             }
             let rec_key = CheckpointKey {
-                world_hash: word(1),
-                seed: word(2),
-                scale_bits: word(3),
+                world_hash,
+                seed,
+                scale_bits,
             };
-            let words = [word(4), word(5), word(6)];
-            let payload_len = word(7) as usize;
-            let digest = word(8);
+            let words = [unit_a, unit_b, unit_c];
+            let payload_len = payload_len as usize;
             let body_at = pos + HEADER_LEN;
             let end = match body_at.checked_add(payload_len) {
                 Some(e) if e <= bytes.len() => e,
@@ -399,7 +412,13 @@ impl LoadedCheckpoints {
                     break;
                 }
             };
-            let payload = &bytes[body_at..end];
+            let Some(payload) = bytes.get(body_at..end) else {
+                out.corrupt_records += 1;
+                out.notes.push(format!(
+                    "truncated record at byte {pos} ({payload_len} payload bytes promised)"
+                ));
+                break;
+            };
             if fnv1a64(payload) != digest {
                 out.corrupt_records += 1;
                 out.notes.push(format!(
@@ -431,7 +450,11 @@ impl LoadedCheckpoints {
             match serde_json::from_str::<UnitCheckpoint>(text) {
                 Ok(ck) => match by_unit.get(&words) {
                     Some(&(idx, _)) => {
-                        out.units[idx].1 = ck;
+                        // idx was recorded alongside the push below, so
+                        // `get_mut` always hits; total either way.
+                        if let Some(unit) = out.units.get_mut(idx) {
+                            unit.1 = ck;
+                        }
                         by_unit.insert(words, (idx, pos..end));
                     }
                     None => {
@@ -450,7 +473,9 @@ impl LoadedCheckpoints {
         // Compacted image: surviving records only, unit-key order (the
         // BTreeMap gives a canonical order independent of commit order).
         for (_, (_, span)) in &by_unit {
-            out.compacted.extend_from_slice(&bytes[span.clone()]);
+            if let Some(record) = bytes.get(span.clone()) {
+                out.compacted.extend_from_slice(record);
+            }
         }
         Ok(out)
     }

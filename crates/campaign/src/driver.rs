@@ -96,23 +96,26 @@ impl<'a> LinkDriver<'a> {
     /// The snapshot in effect at absolute time `t_s`, advancing the UE if
     /// the cadence interval has elapsed.
     pub fn at(&mut self, t_s: f64) -> LinkSnapshot {
-        if self.last.is_none() || t_s >= self.next_step_t {
-            let state = match self.static_state {
-                Some(mut tpl) => {
-                    tpl.time_s = t_s;
-                    tpl
-                }
-                None => self.plan.state_at(t_s),
-            };
-            let snap = self.ue.step(t_s, &state, self.demand);
-            if let Some(ev) = snap.handover {
-                self.handovers.push(ev);
+        if let Some(last) = self.last {
+            if t_s < self.next_step_t {
+                return last;
             }
-            self.snapshots.push(snap);
-            self.last = Some(snap);
-            self.next_step_t = t_s + self.tick_s;
         }
-        self.last.expect("snapshot just ensured")
+        let state = match self.static_state {
+            Some(mut tpl) => {
+                tpl.time_s = t_s;
+                tpl
+            }
+            None => self.plan.state_at(t_s),
+        };
+        let snap = self.ue.step(t_s, &state, self.demand);
+        if let Some(ev) = snap.handover {
+            self.handovers.push(ev);
+        }
+        self.snapshots.push(snap);
+        self.last = Some(snap);
+        self.next_step_t = t_s + self.tick_s;
+        snap
     }
 
     /// Fraction of snapshots on high-speed 5G (Fig. 10's x-axis).

@@ -235,6 +235,7 @@ impl Campaign {
             Ok(outcomes) => outcomes,
             // Interrupts only come from the checkpoint/kill hooks, and
             // neither is installed on this path.
+            // lint:allow(D7): no hook is installed, so the Err arm cannot be reached
             Err(i) => unreachable!("unhooked execution interrupted: {i}"),
         }
     }
@@ -295,9 +296,9 @@ impl Campaign {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<UnitOutcome>>> =
             units.iter().map(|_| Mutex::new(None)).collect();
-        for (i, unit) in units.iter().enumerate() {
+        for (slot, unit) in slots.iter().zip(units) {
             if let Some(outcome) = restored.remove(&unit.fault_words()) {
-                *slots[i].lock() = Some(outcome);
+                *slot.lock() = Some(outcome);
             }
         }
         let dead = AtomicBool::new(false);
@@ -310,14 +311,16 @@ impl Campaign {
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(unit) = units.get(i) else { break };
-                    if slots[i].lock().is_some() {
+                    // In range whenever `units.get(i)` is: one slot per unit.
+                    let Some(slot) = slots.get(i) else { break };
+                    if slot.lock().is_some() {
                         continue; // restored from a checkpoint
                     }
                     let outcome = self.run_unit_supervised(unit, &plan);
                     let commit_result = commit(unit, &outcome);
                     // The outcome is stored either way: on a kill it was
                     // already durably committed, and resume must see it.
-                    *slots[i].lock() = Some(outcome);
+                    *slot.lock() = Some(outcome);
                     if let Err(e) = commit_result {
                         let mut g = interrupt.lock();
                         if g.is_none() {

@@ -68,11 +68,9 @@ pub fn simulate_speedtest_style(driving_means_mbps: &[f64], seed: u64) -> f64 {
         })
         .collect();
     adjusted.sort_by(f64::total_cmp);
-    if adjusted.is_empty() {
-        0.0
-    } else {
-        adjusted[adjusted.len() / 2]
-    }
+    // Total: `len / 2 < len` for any nonempty slice, and the empty case
+    // falls through to the 0.0 default.
+    adjusted.get(adjusted.len() / 2).copied().unwrap_or(0.0)
 }
 
 #[cfg(test)]

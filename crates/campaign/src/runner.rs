@@ -313,32 +313,38 @@ impl Campaign {
 
     /// The cell database of one operator.
     pub fn db_for(&self, op: Operator) -> Arc<CellDb> {
-        let idx = self
+        let (_, db) = self
             .ops
             .iter()
-            .position(|&o| o == op)
+            .zip(&self.dbs)
+            .find(|(&o, _)| o == op)
+            // lint:allow(D7): every work unit is generated from self.ops, so the operator is always on the panel
             .expect("operator in panel");
-        Arc::clone(&self.dbs[idx])
+        Arc::clone(db)
     }
 
     /// One operator's tuning.
     fn tuning_for(&self, op: Operator) -> &OperatorTuning {
-        let idx = self
+        let (_, tuning) = self
             .ops
             .iter()
-            .position(|&o| o == op)
+            .zip(&self.tunings)
+            .find(|(&o, _)| o == op)
+            // lint:allow(D7): every work unit is generated from self.ops, so the operator is always on the panel
             .expect("operator in panel");
-        &self.tunings[idx]
+        tuning
     }
 
     /// One operator's fleet load model, when the campaign has one.
     fn fleet_for(&self, op: Operator) -> Option<Arc<FleetLoad>> {
-        let idx = self
+        let (_, fleet) = self
             .ops
             .iter()
-            .position(|&o| o == op)
+            .zip(&self.fleet)
+            .find(|(&o, _)| o == op)
+            // lint:allow(D7): every work unit is generated from self.ops, so the operator is always on the panel
             .expect("operator in panel");
-        self.fleet[idx].clone()
+        fleet.clone()
     }
 
     /// The panel-total subscriber population (0 without a fleet).
@@ -352,12 +358,14 @@ impl Campaign {
 
     /// One operator's edge-server entitlement.
     fn has_edge(&self, op: Operator) -> bool {
-        let idx = self
+        let (_, edge) = self
             .ops
             .iter()
-            .position(|&o| o == op)
+            .zip(&self.edge)
+            .find(|(&o, _)| o == op)
+            // lint:allow(D7): every work unit is generated from self.ops, so the operator is always on the panel
             .expect("operator in panel");
-        self.edge[idx]
+        *edge
     }
 
     /// Execute the campaign and return the consolidated database.
@@ -435,12 +443,14 @@ impl Campaign {
                         | WorkUnit::Static { op, .. }
                         | WorkUnit::Passive { op } => op,
                     };
-                    let idx = self
+                    let slot = self
                         .ops
                         .iter()
                         .position(|&o2| o2 == op)
+                        .and_then(|idx| per_op.get_mut(idx))
+                        // lint:allow(D7): every work unit is generated from self.ops, so the operator is always on the panel
                         .expect("operator in panel");
-                    match &mut per_op[idx] {
+                    match slot {
                         Some(acc) => acc.merge(&sketch),
                         slot => *slot = Some(sketch),
                     }
@@ -663,9 +673,14 @@ impl Campaign {
         // a day replay the identical skip sequence.
         let mut cycle_rng = rng::stream(self.cfg.seed, rng::DOMAIN_CYCLE, &[day_idx as u64]);
         let cycle_len = self.cycle_duration_s();
-        let day = &self.plan.days()[day_idx];
-        let mut t = day.start_time_s as f64 + 60.0;
-        while t + cycle_len < day.end_time_s as f64 {
+        // Total lookup: a day index past the plan yields an empty shard
+        // (the work-unit generator only emits in-plan indices).
+        let (day_start_s, day_end_s) = match self.plan.days().get(day_idx) {
+            Some(day) => (day.start_time_s as f64, day.end_time_s as f64),
+            None => (0.0, 0.0),
+        };
+        let mut t = day_start_s + 60.0;
+        while t + cycle_len < day_end_s {
             if cycle_rng.gen::<f64>() < self.cfg.scale {
                 t = self.run_cycle(&mut phone, t, None, &mut records, &mut next_id);
             } else {
@@ -678,7 +693,7 @@ impl Campaign {
         // subscriber-hour exactly once).
         let fleet = self.fleet_for(op).map(|f| {
             let mut sketch = FleetUnitSketch::empty();
-            f.fold_span(day.start_time_s as f64, day.end_time_s as f64, &mut sketch);
+            f.fold_span(day_start_s, day_end_s, &mut sketch);
             sketch
         });
         Shard {
@@ -902,6 +917,7 @@ impl Campaign {
                     metrics.e2e_ms_median = Some(r.offload.e2e_median_ms as f32);
                     metrics.offload_fps = Some(r.offload.offload_fps as f32);
                 }
+                // lint:allow(D7): run_offload_app is dispatched only for the AR/CAV kinds matched above
                 _ => unreachable!("run_offload_app only handles AR/CAV"),
             }
         }
@@ -1066,7 +1082,12 @@ impl Campaign {
         let t_base = self
             .plan
             .time_at_odometer(site_od)
-            .unwrap_or(self.plan.days()[0].start_time_s as f64);
+            .unwrap_or_else(|| {
+                self.plan
+                    .days()
+                    .first()
+                    .map_or(0.0, |d| d.start_time_s as f64)
+            });
         for attempt in 0..3u64 {
             let seed = rng::derive_seed(
                 self.cfg.seed,
@@ -1206,7 +1227,10 @@ fn kpi_windows(
     for w in 0..n {
         let w_end = t0 + (w + 1) as f64 * WINDOW_S;
         // Last snapshot at or before the window end.
-        while snap_i + 1 < snapshots.len() && snapshots[snap_i + 1].time_s <= w_end {
+        while snapshots
+            .get(snap_i + 1)
+            .map_or(false, |s| s.time_s <= w_end)
+        {
             snap_i += 1;
         }
         let Some(snap) = snapshots.get(snap_i) else {

@@ -317,6 +317,7 @@ fn intern(s: &str) -> &'static str {
     use std::sync::{Mutex, OnceLock};
     static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
     let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    // lint:allow(D7): a poisoned lock means another thread already panicked; there is no degraded mode to offer
     let mut set = pool.lock().expect("intern pool poisoned");
     if let Some(&hit) = set.get(s) {
         return hit;
@@ -334,6 +335,7 @@ fn tech_pos(tech: Technology) -> usize {
     Technology::ALL
         .iter()
         .position(|&t| t == tech)
+        // lint:allow(D7): Technology::ALL enumerates every variant, so the position always exists
         .expect("known technology")
 }
 
@@ -824,13 +826,21 @@ impl ScenarioSpec {
             .operators
             .iter()
             .map(|o| {
+                // lint:allow(D7): build() is only reachable after validate(), which rejects unknown slots
                 let op = Operator::from_slot(&o.slot).expect("validated operator slot");
                 let mut tuning = OperatorTuning::NEUTRAL;
                 for s in &o.scales {
+                    // lint:allow(D7): validate() rejects unknown technology keys before build() runs
                     let ti = tech_pos(tech_by_key(&s.tech).expect("validated technology key"));
-                    tuning.coverage_scale[ti] = s.coverage;
-                    tuning.spacing_scale[ti] = s.spacing;
-                    tuning.promotion_scale[ti] = s.promotion;
+                    if let Some(c) = tuning.coverage_scale.get_mut(ti) {
+                        *c = s.coverage;
+                    }
+                    if let Some(c) = tuning.spacing_scale.get_mut(ti) {
+                        *c = s.spacing;
+                    }
+                    if let Some(c) = tuning.promotion_scale.get_mut(ti) {
+                        *c = s.promotion;
+                    }
                 }
                 if let Some(l) = &o.load {
                     tuning.load = LoadScale {

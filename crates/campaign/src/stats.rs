@@ -41,25 +41,28 @@ impl Table1 {
     /// (states, major cities, timezones) come from the route's own
     /// waypoints, so scenario routes report their own numbers.
     pub fn compute_for(db: &ConsolidatedDb, route: &Route, ops: &[Operator]) -> Self {
-        let mut unique_cells = vec![0usize; ops.len()];
-        let mut handovers = vec![0usize; ops.len()];
-        let mut runtime_min = vec![0f64; ops.len()];
+        let unique_cells: Vec<usize> = ops.iter().map(|&op| db.unique_cells(op)).collect();
+        let handovers: Vec<usize> = ops
+            .iter()
+            .map(|&op| {
+                db.passive_for(op)
+                    .map(|p| p.cell_changes())
+                    .unwrap_or_else(|| db.handover_count(op))
+            })
+            .collect();
+        let runtime_min: Vec<f64> = ops
+            .iter()
+            .map(|&op| {
+                db.records
+                    .iter()
+                    .filter(|r| r.op == op)
+                    .map(|r| r.duration_s)
+                    .sum::<f64>()
+                    / 60.0
+            })
+            .collect();
         let mut rx_bytes = 0f64;
         let mut tx_bytes = 0f64;
-        for (i, &op) in ops.iter().enumerate() {
-            unique_cells[i] = db.unique_cells(op);
-            handovers[i] = db
-                .passive_for(op)
-                .map(|p| p.cell_changes())
-                .unwrap_or_else(|| db.handover_count(op));
-            runtime_min[i] = db
-                .records
-                .iter()
-                .filter(|r| r.op == op)
-                .map(|r| r.duration_s)
-                .sum::<f64>()
-                / 60.0;
-        }
         for r in &db.records {
             let bytes: f64 = r
                 .tput_samples()

@@ -1,0 +1,62 @@
+//! The D7-clean counterpart: the same frame-decoding surface written
+//! with typed error propagation. The one residual `expect` documents a
+//! structurally infallible case and carries an allow with a reason.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum FrameError {
+    Truncated { want: usize, have: usize },
+    BadKind(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { want, have } => {
+                write!(f, "truncated frame: want {want} words, have {have}")
+            }
+            FrameError::BadKind(k) => write!(f, "unsupported frame kind {k}"),
+        }
+    }
+}
+
+pub struct Frame {
+    words: Vec<u64>,
+}
+
+pub fn read_word(frame: &Frame, at: usize) -> Result<u64, FrameError> {
+    frame.words.get(at).copied().ok_or(FrameError::Truncated {
+        want: at + 1,
+        have: frame.words.len(),
+    })
+}
+
+pub fn first_word(frame: &Frame) -> Result<u64, FrameError> {
+    read_word(frame, 0)
+}
+
+pub fn checked_kind(kind: u32) -> Result<u32, FrameError> {
+    match kind {
+        0..=3 => Ok(kind),
+        k => Err(FrameError::BadKind(k)),
+    }
+}
+
+pub fn header_word(frame: &Frame) -> u64 {
+    // lint:allow(D7): constructor guarantees at least one word; checked on every path above
+    frame.words.first().copied().expect("frame is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_frames_report_not_panic() {
+        let f = Frame { words: vec![1, 2] };
+        assert!(read_word(&f, 5).is_err());
+        // Test code may unwrap freely.
+        assert_eq!(read_word(&f, 1).unwrap(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! The D8-clean counterpart: hot paths write into caller-provided
+//! buffers and fold in place; allocation happens once, in cold setup
+//! code, where D8 does not look.
+
+pub struct Cubic {
+    w_max: f64,
+    acked_total: f64,
+}
+
+pub fn evaluate_layer_span(rsrp_dbm: &[f64], scores: &mut [f64]) -> f64 {
+    // In-place fold over a preallocated buffer: no allocating calls.
+    let mut sum = 0.0;
+    for (score, r) in scores.iter_mut().zip(rsrp_dbm) {
+        *score = *r * 0.5 + 1.0;
+        sum += *score;
+    }
+    sum
+}
+
+impl Cubic {
+    pub fn on_ack(&mut self, acked_bytes: f64) {
+        self.w_max = self.w_max.max(self.acked_total);
+        self.acked_total += acked_bytes;
+    }
+}
+
+/// Cold setup path: not in the registry, so it may allocate freely.
+pub fn build_score_buffer(n_ticks: usize) -> Vec<f64> {
+    let mut buf = Vec::new();
+    buf.resize(n_ticks, 0.0);
+    buf
+}
+
+/// A deliberate, justified hot-path allocation stays visible but
+/// suppressed — the reason is mandatory.
+pub fn records_fragment(records: &[u64]) -> String {
+    // lint:allow(D8): one fragment header per export flush, not per tick
+    format!("{{\"count\":{}}}", records.len())
+}

@@ -1,0 +1,29 @@
+//! The D9-clean counterpart: call sites key pinned domains with the
+//! registered arity, variable-length domains pass a named word slice
+//! (structural check only), and the one deliberate odd site carries an
+//! allow with a reason.
+
+fn derive_seed(_campaign_seed: u64, _domain: u64, _words: &[u64]) -> u64 {
+    0
+}
+
+pub fn phone_stream(seed: u64, op: u64, day: u64) -> u64 {
+    // Pinned arity 2: [operator, day].
+    derive_seed(seed, DOMAIN_PHONE, &[op, day])
+}
+
+pub fn cycle_stream(seed: u64, day: u64) -> u64 {
+    derive_seed(seed, DOMAIN_CYCLE, &[day])
+}
+
+pub fn fault_stream(seed: u64, words: &[u64]) -> u64 {
+    // DOMAIN_FAULT is unpinned: a variable-length key is fine.
+    derive_seed(seed, DOMAIN_FAULT, words)
+}
+
+pub fn calibration_stream(seed: u64) -> u64 {
+    // lint:allow(D9): one-off calibration draw predates the two-word key; keyed by constant zero on purpose
+    derive_seed(seed, DOMAIN_PHONE, &[0])
+}
+
+use crate::rng::{DOMAIN_CYCLE, DOMAIN_FAULT, DOMAIN_PHONE};

@@ -1,0 +1,37 @@
+//! D7 must fire: panic surface inside the campaign/export trees. Every
+//! `unwrap`, `expect`, `panic!`, and bare slice index in non-test code
+//! here is a worker abort waiting for the first malformed checkpoint —
+//! these paths must propagate typed errors instead.
+
+pub struct Frame {
+    words: Vec<u64>,
+}
+
+pub fn read_word(frame: &Frame, at: usize) -> u64 {
+    // Bare indexing: panics on a truncated frame.
+    frame.words[at]
+}
+
+pub fn first_word(frame: &Frame) -> u64 {
+    frame.words.first().copied().unwrap()
+}
+
+pub fn header_word(frame: &Frame) -> u64 {
+    frame.words.first().copied().expect("frame has a header")
+}
+
+pub fn reject(kind: u32) -> ! {
+    panic!("unsupported frame kind {kind}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        // unwrap in tests is fine — a failing test *should* abort.
+        let f = Frame { words: vec![7] };
+        assert_eq!(f.words.first().copied().unwrap(), 7);
+    }
+}

@@ -1,0 +1,31 @@
+//! D8 must fire: allocation inside registered hot-path functions. The
+//! free function `evaluate_layer_span` and the method `Cubic::on_ack`
+//! are both in the hot-path registry; every allocating call below runs
+//! once per tick and multiplies by millions of iterations.
+
+pub struct Cubic {
+    w_max: f64,
+    log: Vec<String>,
+}
+
+pub fn evaluate_layer_span(rsrp_dbm: &[f64]) -> f64 {
+    // Direct allocations in a registered hot path.
+    let mut scores: Vec<f64> = Vec::new();
+    for r in rsrp_dbm {
+        scores.push(*r * 0.5);
+    }
+    let tagged: Vec<f64> = scores.iter().map(|s| s + 1.0).collect();
+    tagged.iter().sum()
+}
+
+fn describe(w: f64) -> String {
+    // One call level below a hot path: still forbidden (transitive).
+    format!("w_max={w:.3}")
+}
+
+impl Cubic {
+    pub fn on_ack(&mut self, acked_bytes: f64) {
+        self.w_max += acked_bytes;
+        self.log.push(describe(self.w_max));
+    }
+}

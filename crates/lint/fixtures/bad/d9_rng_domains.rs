@@ -1,0 +1,31 @@
+//! D9 must fire: RNG-domain provenance violations. A `DOMAIN_*`
+//! constant declared outside `netsim::rng`, a pinned-arity domain keyed
+//! with the wrong word count, and one domain keyed with two different
+//! arities at two sites — any of these silently aliases or splits a
+//! random stream.
+
+/// Declared here instead of in the one declaring module: a second
+/// source of domain constants means collisions can't be audited.
+pub const DOMAIN_ROGUE: u64 = 0x524F_4755_4531_0001;
+
+fn derive_seed(_campaign_seed: u64, _domain: u64, _words: &[u64]) -> u64 {
+    0
+}
+
+pub fn phone_stream(seed: u64, op: u64) -> u64 {
+    // DOMAIN_PHONE is pinned at arity 2 ([operator, day]); keying with
+    // one word aliases every day onto the same stream.
+    derive_seed(seed, DOMAIN_PHONE, &[op])
+}
+
+pub fn rogue_a(seed: u64, op: u64) -> u64 {
+    derive_seed(seed, DOMAIN_ROGUE, &[op])
+}
+
+pub fn rogue_b(seed: u64, op: u64, day: u64) -> u64 {
+    // Same domain, different key arity than `rogue_a`: the two sites
+    // disagree about what identifies a draw.
+    derive_seed(seed, DOMAIN_ROGUE, &[op, day])
+}
+
+pub const DOMAIN_PHONE: u64 = 0x5048_4F4E_4531_0001;

@@ -1,0 +1,379 @@
+//! Finding fingerprints and the ratchet baseline.
+//!
+//! The baseline (`lint-baseline.json`, checked in at the repo root)
+//! records the pre-existing debt the linter knows about — today that is
+//! the D7 panic-surface findings that predate the rule. The contract is
+//! a one-way ratchet:
+//!
+//! * a finding whose fingerprint is in the baseline is reported as
+//!   `baselined` and does not fail CI;
+//! * a finding NOT in the baseline fails CI (new debt is rejected);
+//! * a baseline entry that no longer fires also fails CI — the fix must
+//!   delete the entry, so the file only ever shrinks.
+//!
+//! Fingerprints must survive unrelated edits (line insertions above a
+//! site must not invalidate the whole file's entries), so they hash the
+//! rule id, the workspace-relative path, the enclosing function's
+//! qualified name, the stripped source line text, and an ordinal among
+//! identical tuples — but never the line number itself.
+//!
+//! The lint crate is dependency-free, so this module carries its own
+//! FNV-1a and a small recursive-descent JSON reader for the baseline
+//! file (the same dialect `render` writes; unknown fields are ignored
+//! so the format can grow).
+
+use std::fmt::Write as _;
+
+/// 64-bit FNV-1a (same parameters as the checkpoint digest).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint for a finding: 16 lowercase hex chars.
+///
+/// `ordinal` disambiguates repeated identical sites (two `.unwrap()` on
+/// the same trimmed line text in the same function) by their source
+/// order, so one fix invalidates exactly one entry.
+pub fn fingerprint(rule: &str, rel: &str, context: &str, snippet: &str, ordinal: usize) -> String {
+    let mut buf = Vec::with_capacity(rule.len() + rel.len() + context.len() + snippet.len() + 8);
+    for part in [rule, rel, context, snippet] {
+        buf.extend_from_slice(part.as_bytes());
+        buf.push(0x1f); // unit separator: "a"+"bc" != "ab"+"c"
+    }
+    buf.extend_from_slice(&(ordinal as u64).to_le_bytes());
+    format!("{:016x}", fnv1a64(&buf))
+}
+
+/// One baseline entry. `rule` and `file` are denormalized copies kept
+/// for human review of the baseline file; only `fingerprint` is matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub fingerprint: String,
+    pub rule: String,
+    pub file: String,
+    pub message: String,
+}
+
+/// Parse a baseline file. Errors carry enough context to fix the file.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let root = parse_json(text)?;
+    let entries = root
+        .get("entries")
+        .ok_or_else(|| "baseline: missing `entries` array".to_string())?;
+    let Json::Arr(items) = entries else {
+        return Err("baseline: `entries` is not an array".to_string());
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let str_field = |name: &str| -> Result<String, String> {
+            match item.get(name) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                Some(_) => Err(format!("baseline entry {i}: `{name}` is not a string")),
+                None => Err(format!("baseline entry {i}: missing `{name}`")),
+            }
+        };
+        out.push(BaselineEntry {
+            fingerprint: str_field("fingerprint")?,
+            rule: str_field("rule")?,
+            file: str_field("file")?,
+            message: str_field("message").unwrap_or_default(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render a baseline file (sorted by file, rule, fingerprint so diffs
+/// are stable under re-generation).
+pub fn render_baseline(entries: &[BaselineEntry]) -> String {
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.file, &a.rule, &a.fingerprint).cmp(&(&b.file, &b.rule, &b.fingerprint))
+    });
+    let mut out = String::new();
+    out.push_str("{\n  \"comment\": \"wheels-lint ratchet baseline: entries may only be removed. Regenerate with --write-baseline after paying down debt.\",\n  \"entries\": [\n");
+    for (i, e) in sorted.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \"message\": \"{}\"}}",
+            escape(&e.fingerprint),
+            escape(&e.rule),
+            escape(&e.file),
+            escape(&e.message)
+        );
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON value for reading the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Total: returns `Err` on malformed input,
+/// never panics.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = match parse_value(chars, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at offset {pos} is not a string", pos = *pos)),
+                };
+                skip_ws(chars, pos);
+                if chars.get(*pos) != Some(&':') {
+                    return Err(format!("expected `:` at offset {}", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(chars, pos)?;
+                fields.push((key, value));
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {}", *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {}", *pos)),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match chars.get(*pos) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('b') => s.push('\u{8}'),
+                            Some('f') => s.push('\u{c}'),
+                            Some('u') => {
+                                let mut code = 0u32;
+                                for k in 1..=4 {
+                                    let d = chars
+                                        .get(*pos + k)
+                                        .and_then(|c| c.to_digit(16))
+                                        .ok_or_else(|| "bad \\u escape".to_string())?;
+                                    code = code * 16 + d;
+                                }
+                                *pos += 4;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err("bad escape".to_string()),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            if chars.get(*pos) == Some(&'-') {
+                *pos += 1;
+            }
+            while chars
+                .get(*pos)
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+        Some(_) => {
+            for (lit, val) in [
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+                ("null", Json::Null),
+            ] {
+                let lit_chars: Vec<char> = lit.chars().collect();
+                if chars[*pos..].starts_with(&lit_chars) {
+                    *pos += lit_chars.len();
+                    return Ok(val);
+                }
+            }
+            Err(format!("unexpected character at offset {}", *pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let a = fingerprint("D7", "crates/x/src/a.rs", "T::f", ".unwrap()", 0);
+        let b = fingerprint("D7", "crates/x/src/a.rs", "T::f", ".unwrap()", 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, fingerprint("D7", "crates/x/src/a.rs", "T::f", ".unwrap()", 1));
+        assert_ne!(a, fingerprint("D8", "crates/x/src/a.rs", "T::f", ".unwrap()", 0));
+        // Field boundaries matter: shifting a char between fields must
+        // change the hash.
+        assert_ne!(
+            fingerprint("D7", "ab", "c", "s", 0),
+            fingerprint("D7", "a", "bc", "s", 0)
+        );
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let entries = vec![
+            BaselineEntry {
+                fingerprint: "00ff00ff00ff00ff".to_string(),
+                rule: "D7".to_string(),
+                file: "crates/campaign/src/runner.rs".to_string(),
+                message: "`.expect(` outside test code".to_string(),
+            },
+            BaselineEntry {
+                fingerprint: "1234567812345678".to_string(),
+                rule: "D7".to_string(),
+                file: "crates/apps/src/video/bba.rs".to_string(),
+                message: "slice index".to_string(),
+            },
+        ];
+        let text = render_baseline(&entries);
+        let back = parse_baseline(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        // Rendering sorts by (file, rule, fingerprint).
+        assert_eq!(back[0].file, "crates/apps/src/video/bba.rs");
+        assert!(back.iter().any(|e| e.fingerprint == "00ff00ff00ff00ff"));
+    }
+
+    #[test]
+    fn empty_baseline_roundtrip() {
+        let text = render_baseline(&[]);
+        assert!(parse_baseline(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = parse_json(r#"{"a": [1, {"b": "x\"y"}, true, null], "n": -2.5e1}"#).unwrap();
+        let arr = v.get("a").unwrap();
+        let Json::Arr(items) = arr else { panic!("not arr") };
+        assert_eq!(items[0], Json::Num(1.0));
+        assert_eq!(items[1].get("b"), Some(&Json::Str("x\"y".to_string())));
+        assert_eq!(v.get("n"), Some(&Json::Num(-25.0)));
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input_without_panic() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "\"open", "{\"a\":}", "1 2"] {
+            assert!(parse_json(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn baseline_errors_name_the_problem() {
+        assert!(parse_baseline("{}").unwrap_err().contains("entries"));
+        let e = parse_baseline(r#"{"entries": [{"rule": "D7"}]}"#).unwrap_err();
+        assert!(e.contains("fingerprint"));
+    }
+}

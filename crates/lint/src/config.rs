@@ -1,0 +1,378 @@
+//! Lint configuration: the D7 scope, the D8 hot-path registry
+//! (`lint-hotpaths.toml`), and the D9 RNG-domain registry
+//! (`lint-rng-domains.toml`).
+//!
+//! The lint crate is dependency-free by design (it must build and run in
+//! seconds, before the workspace), so this module includes a tiny parser
+//! for the TOML subset the two config files use: comments, `[section]`
+//! headers, `key = "string"`, `key = integer`, and `key = [ ... ]`
+//! string lists that may span lines. Anything outside that subset is a
+//! hard error — a malformed config failing loudly beats a rule silently
+//! not running.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parsed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlVal {
+    Str(String),
+    Int(i64),
+    List(Vec<String>),
+}
+
+/// Errors from config parsing/loading.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Parse the TOML subset into `(section.key, value)` pairs. Keys outside
+/// a section are returned bare (`key`); inside `[arity]` they come back
+/// as `arity.key`.
+pub fn parse_toml(file: &str, text: &str) -> Result<Vec<(String, TomlVal)>, ConfigError> {
+    let err = |line: usize, message: String| ConfigError {
+        file: file.to_string(),
+        line,
+        message,
+    };
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((ln0, raw)) = lines.next() {
+        let line_no = ln0 + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, format!("unterminated section header: {raw}")))?;
+            section = name.trim().to_string();
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .ok_or_else(|| err(line_no, format!("expected `key = value`: {raw}")))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(err(line_no, "empty key".to_string()));
+        }
+        let full_key = if section.is_empty() {
+            key.to_string()
+        } else {
+            format!("{section}.{key}")
+        };
+        let mut val = val.trim().to_string();
+        let parsed = if val.starts_with('[') {
+            // A list; may continue over following lines until `]`.
+            while !val.contains(']') {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        val.push(' ');
+                        val.push_str(strip_toml_comment(cont).trim());
+                    }
+                    None => return Err(err(line_no, format!("unterminated list for `{key}`"))),
+                }
+            }
+            let inner = val
+                .trim()
+                .trim_start_matches('[')
+                .rsplit_once(']')
+                .map(|(a, _)| a)
+                .unwrap_or("");
+            let mut items = Vec::new();
+            for piece in inner.split(',') {
+                let piece = piece.trim();
+                if piece.is_empty() {
+                    continue;
+                }
+                items.push(unquote(piece).ok_or_else(|| {
+                    err(line_no, format!("list items must be quoted strings: {piece}"))
+                })?);
+            }
+            TomlVal::List(items)
+        } else if let Some(s) = unquote(&val) {
+            TomlVal::Str(s)
+        } else if let Ok(n) = val.parse::<i64>() {
+            TomlVal::Int(n)
+        } else {
+            return Err(err(
+                line_no,
+                format!("expected string, integer, or list for `{key}`, got: {val}"),
+            ));
+        };
+        out.push((full_key, parsed));
+    }
+    Ok(out)
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Some(s[1..s.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+/// The resolved lint configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path fragments (normalized with `/`) under which D7 applies.
+    pub d7_scope: Vec<String>,
+    /// Hot-path function names for D8; entries are `Type::name` or a
+    /// bare `name` (matches any function with that name).
+    pub hotpaths: Vec<String>,
+    /// Call paths forbidden inside hot paths (`Vec::new`, `vec!`, ...).
+    /// `name!` entries match macro invocations.
+    pub hotpath_forbid: Vec<String>,
+    /// Path suffix of the one module allowed to declare `DOMAIN_*`
+    /// constants for D9.
+    pub rng_module: String,
+    /// Identifier prefix that marks an RNG domain constant.
+    pub rng_domain_prefix: String,
+    /// Pinned key arity per domain (`derive_seed(seed, DOMAIN, &[..])`
+    /// literal slice length). Domains absent here have variable arity.
+    pub rng_arity: Vec<(String, usize)>,
+}
+
+impl LintConfig {
+    /// The built-in defaults, matching the checked-in workspace configs.
+    /// Used when no config files are present (e.g. `lint_source` unit
+    /// runs) so single-file behavior matches the workspace sweep.
+    pub fn builtin() -> Self {
+        LintConfig {
+            d7_scope: vec![
+                "crates/campaign/src".to_string(),
+                "crates/bench/src".to_string(),
+                "crates/apps/src".to_string(),
+                "crates/xcal/src".to_string(),
+                // Only the d7_* fixture pair opts in, so the other bad/
+                // fixtures (which use `.unwrap()` freely to stay focused
+                // on their own rule) don't pick up stray D7 findings.
+                "fixtures/bad/d7".to_string(),
+                "fixtures/allowed/d7".to_string(),
+            ],
+            hotpaths: vec![
+                "ShadowBank::advance_span".to_string(),
+                "ShadowingField::fill_span".to_string(),
+                "ShadowingField::at_memo".to_string(),
+                "UeRadio::step".to_string(),
+                "ShadowStore::advance_span".to_string(),
+                "evaluate_layer_span".to_string(),
+                "FleetLoad::fold_span".to_string(),
+                "Cubic::on_ack".to_string(),
+                "Bbr::on_ack".to_string(),
+                "records_fragment".to_string(),
+                "write_record_rows".to_string(),
+            ],
+            hotpath_forbid: vec![
+                "Vec::new".to_string(),
+                "vec!".to_string(),
+                "format!".to_string(),
+                "to_string".to_string(),
+                "to_owned".to_string(),
+                "collect".to_string(),
+                "Box::new".to_string(),
+                "String::new".to_string(),
+                "clone".to_string(),
+            ],
+            rng_module: "crates/netsim/src/rng.rs".to_string(),
+            rng_domain_prefix: "DOMAIN_".to_string(),
+            rng_arity: vec![
+                ("DOMAIN_PHONE".to_string(), 2),
+                ("DOMAIN_CYCLE".to_string(), 1),
+                ("DOMAIN_STATIC".to_string(), 3),
+                ("DOMAIN_PASSIVE".to_string(), 1),
+                ("DOMAIN_FLEET".to_string(), 1),
+                // DOMAIN_FAULT is deliberately unpinned: fault injection
+                // keys a variable-length word list.
+            ],
+        }
+    }
+
+    /// Load the configuration rooted at `dir`, layering
+    /// `lint-hotpaths.toml` and `lint-rng-domains.toml` over the
+    /// builtin defaults when present.
+    pub fn load(dir: &Path) -> Result<Self, ConfigError> {
+        let mut cfg = LintConfig::builtin();
+        let hot = dir.join("lint-hotpaths.toml");
+        if let Ok(text) = std::fs::read_to_string(&hot) {
+            cfg.apply_hotpaths(&hot.display().to_string(), &text)?;
+        }
+        let rng = dir.join("lint-rng-domains.toml");
+        if let Ok(text) = std::fs::read_to_string(&rng) {
+            cfg.apply_rng(&rng.display().to_string(), &text)?;
+        }
+        Ok(cfg)
+    }
+
+    fn apply_hotpaths(&mut self, file: &str, text: &str) -> Result<(), ConfigError> {
+        for (key, val) in parse_toml(file, text)? {
+            match (key.as_str(), val) {
+                ("functions", TomlVal::List(v)) => self.hotpaths = v,
+                ("forbid", TomlVal::List(v)) => self.hotpath_forbid = v,
+                ("d7_scope", TomlVal::List(v)) => self.d7_scope = v,
+                (k, _) => {
+                    return Err(ConfigError {
+                        file: file.to_string(),
+                        line: 0,
+                        message: format!("unknown key `{k}` (expected functions/forbid/d7_scope)"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_rng(&mut self, file: &str, text: &str) -> Result<(), ConfigError> {
+        for (key, val) in parse_toml(file, text)? {
+            match (key.as_str(), val) {
+                ("declaring_module", TomlVal::Str(s)) => self.rng_module = s,
+                ("domain_prefix", TomlVal::Str(s)) => self.rng_domain_prefix = s,
+                (k, TomlVal::Int(n)) if k.starts_with("arity.") => {
+                    let name = k["arity.".len()..].to_string();
+                    if n < 0 {
+                        return Err(ConfigError {
+                            file: file.to_string(),
+                            line: 0,
+                            message: format!("negative arity for `{name}`"),
+                        });
+                    }
+                    self.rng_arity.push((name, n as usize));
+                }
+                (k, _) => {
+                    return Err(ConfigError {
+                        file: file.to_string(),
+                        line: 0,
+                        message: format!(
+                            "unknown key `{k}` (expected declaring_module/domain_prefix/[arity])"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pinned arity for `domain`, if any.
+    pub fn pinned_arity(&self, domain: &str) -> Option<usize> {
+        self.rng_arity
+            .iter()
+            .find(|(d, _)| d == domain)
+            .map(|(_, n)| *n)
+    }
+
+    /// Does D7 apply to this (normalized, `/`-separated) path?
+    pub fn d7_applies(&self, norm_path: &str) -> bool {
+        self.d7_scope.iter().any(|frag| norm_path.contains(frag.as_str()))
+    }
+
+    /// Is `qual` (e.g. `ShadowBank::advance_span`) a registered hot
+    /// path? Bare registry entries match any function with that name.
+    pub fn is_hotpath(&self, qual: &str, bare: &str) -> bool {
+        self.hotpaths.iter().any(|h| h == qual || h == bare)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_strings_ints_and_lists() {
+        let text = "a = \"x\" # trailing\nb = 3\nc = [\"p\", \"q\"]\n";
+        let kv = parse_toml("t", text).unwrap();
+        assert_eq!(kv[0], ("a".to_string(), TomlVal::Str("x".to_string())));
+        assert_eq!(kv[1], ("b".to_string(), TomlVal::Int(3)));
+        assert_eq!(
+            kv[2],
+            (
+                "c".to_string(),
+                TomlVal::List(vec!["p".to_string(), "q".to_string()])
+            )
+        );
+    }
+
+    #[test]
+    fn multiline_lists_and_sections() {
+        let text = "functions = [\n  \"A::b\", # comment\n  \"c\",\n]\n[arity]\nDOMAIN_X = 2\n";
+        let kv = parse_toml("t", text).unwrap();
+        assert_eq!(
+            kv[0].1,
+            TomlVal::List(vec!["A::b".to_string(), "c".to_string()])
+        );
+        assert_eq!(kv[1], ("arity.DOMAIN_X".to_string(), TomlVal::Int(2)));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let kv = parse_toml("t", "a = \"x#y\"\n").unwrap();
+        assert_eq!(kv[0].1, TomlVal::Str("x#y".to_string()));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let e = parse_toml("t", "a = \"x\"\nbogus line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("t:2"));
+    }
+
+    #[test]
+    fn unterminated_list_errors() {
+        assert!(parse_toml("t", "a = [\n\"x\",\n").is_err());
+    }
+
+    #[test]
+    fn config_layering_applies_overrides() {
+        let mut cfg = LintConfig::builtin();
+        cfg.apply_hotpaths("h", "functions = [\"T::hot\"]\n").unwrap();
+        cfg.apply_rng(
+            "r",
+            "declaring_module = \"x/rng.rs\"\n[arity]\nDOMAIN_A = 2\n",
+        )
+        .unwrap();
+        assert!(cfg.is_hotpath("T::hot", "hot"));
+        assert!(!cfg.is_hotpath("T::cold", "cold"));
+        assert_eq!(cfg.rng_module, "x/rng.rs");
+        assert_eq!(cfg.pinned_arity("DOMAIN_A"), Some(2));
+        assert_eq!(cfg.pinned_arity("DOMAIN_B"), None);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let mut cfg = LintConfig::builtin();
+        assert!(cfg.apply_hotpaths("h", "nope = 1\n").is_err());
+    }
+
+    #[test]
+    fn d7_scope_matches_path_fragments() {
+        let cfg = LintConfig::builtin();
+        assert!(cfg.d7_applies("crates/campaign/src/runner.rs"));
+        assert!(cfg.d7_applies("/abs/repo/crates/xcal/src/export.rs"));
+        assert!(!cfg.d7_applies("crates/radio/src/shadowing.rs"));
+    }
+}

@@ -1,4 +1,4 @@
-//! A line-oriented Rust lexer that separates code from string/comment
+//! A spanned Rust tokenizer that separates code from string/comment
 //! content.
 //!
 //! The rules in [`crate::rules`] are token matchers; to keep them honest
@@ -7,16 +7,65 @@
 //! message is not a wall-clock read). The lexer walks the source once
 //! with a small state machine covering line comments, nested block
 //! comments, string literals (with escapes), raw strings (`r#"..."#`
-//! with any hash count), byte/char literals, and lifetimes, and emits per
-//! physical line:
+//! with any hash count), byte/char literals, and lifetimes, and emits:
 //!
-//! * `code` — the line with every string/char/comment byte replaced by a
-//!   space (delimiters included), so token scans see only real code;
-//! * `comment` — the concatenated comment text of the line, which is
-//!   where `lint:allow(...)` suppression directives live.
+//! * a [`Token`] stream — identifiers, lifetimes, numeric literals,
+//!   string/char literal markers (content blanked), and single-character
+//!   punctuation, each with a 1-based line and column;
+//! * per physical line, a [`Line`]: `code` (the line with every
+//!   string/char/comment byte replaced by a space, same char length as
+//!   the input so column arithmetic stays valid) and `comment` (the
+//!   concatenated comment text, which is where `lint:allow(...)`
+//!   suppression directives live).
 //!
-//! Positions are preserved: `code` has exactly the same length (in
-//! characters) as the input line, so column arithmetic stays valid.
+//! The tokenizer is total: any byte soup lexes without panicking (see
+//! `tests/lexer_props.rs`), and stripping is idempotent — lexing the
+//! stripped code of a file reproduces that code byte for byte.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `partial_cmp`, `HashMap`).
+    Ident,
+    /// Lifetime (`'a`); `text` includes the tick.
+    Lifetime,
+    /// Integer literal (`42`, `0x5EED`, `1_000u64`).
+    Int,
+    /// Float literal (`1.5`, `2e-3`, `1.`).
+    Float,
+    /// String literal (plain, raw, or byte); content is not retained.
+    Str,
+    /// Char or byte-char literal; content is not retained.
+    Char,
+    /// One punctuation character (`text` is that single char).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text. Empty for [`TokenKind::Str`] and [`TokenKind::Char`]
+    /// (rules must never depend on literal content).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
 
 /// One physical source line, split into its code and comment parts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,10 +76,18 @@ pub struct Line {
     pub comment: String,
 }
 
+/// A fully lexed file: the token stream plus the per-line strip view.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Per physical line code/comment split (same line count as input).
+    pub lines: Vec<Line>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Code,
-    LineComment,
     /// Nested block comment depth.
     BlockComment(u32),
     /// Inside `"..."`.
@@ -41,26 +98,27 @@ enum State {
     Char,
 }
 
-/// Strip `src` into per-line code/comment parts.
+/// Strip `src` into per-line code/comment parts (the legacy view; same
+/// output as `tokenize(src).lines`).
 pub fn strip(src: &str) -> Vec<Line> {
-    let mut out = Vec::new();
+    tokenize(src).lines
+}
+
+/// Lex `src` into tokens and per-line code/comment parts.
+pub fn tokenize(src: &str) -> LexedFile {
+    let mut out = LexedFile::default();
     let mut state = State::Code;
-    for raw in src.split('\n') {
+    for (line_no, raw) in src.split('\n').enumerate() {
         let chars: Vec<char> = raw.chars().collect();
         let mut code = String::with_capacity(chars.len());
         let mut comment = String::new();
         let mut i = 0usize;
-        // A line comment never survives a newline.
-        if state == State::LineComment {
-            state = State::Code;
-        }
         while i < chars.len() {
             let c = chars[i];
             let next = chars.get(i + 1).copied();
             match state {
                 State::Code => match c {
                     '/' if next == Some('/') => {
-                        state = State::LineComment;
                         comment.push_str(&raw_tail(&chars, i + 2));
                         // Blank the rest of the line in the code view.
                         for _ in i..chars.len() {
@@ -75,11 +133,13 @@ pub fn strip(src: &str) -> Vec<Line> {
                         i += 2;
                     }
                     '"' => {
+                        push_tok(&mut out, TokenKind::Str, String::new(), line_no, i);
                         state = State::Str;
                         code.push(' ');
                         i += 1;
                     }
                     'r' if is_raw_string_start(&chars, i) => {
+                        push_tok(&mut out, TokenKind::Str, String::new(), line_no, i);
                         let hashes = count_hashes(&chars, i + 1);
                         state = State::RawStr(hashes);
                         // Blank `r` + hashes + opening quote.
@@ -90,12 +150,14 @@ pub fn strip(src: &str) -> Vec<Line> {
                         i += span;
                     }
                     'b' if next == Some('"') => {
+                        push_tok(&mut out, TokenKind::Str, String::new(), line_no, i);
                         state = State::Str;
                         code.push(' ');
                         code.push(' ');
                         i += 2;
                     }
                     'b' if next == Some('r') && is_raw_string_start(&chars, i + 1) => {
+                        push_tok(&mut out, TokenKind::Str, String::new(), line_no, i);
                         let hashes = count_hashes(&chars, i + 2);
                         state = State::RawStr(hashes);
                         let span = 3 + hashes as usize;
@@ -109,6 +171,7 @@ pub fn strip(src: &str) -> Vec<Line> {
                         // literal is `'x'` or `'\...'`; a lifetime is `'`
                         // followed by an identifier with no closing quote.
                         if next == Some('\\') {
+                            push_tok(&mut out, TokenKind::Char, String::new(), line_no, i);
                             state = State::Char;
                             code.push(' ');
                             i += 1;
@@ -117,23 +180,57 @@ pub fn strip(src: &str) -> Vec<Line> {
                             // followed by a char literal in pathological
                             // generics; plain `'x'` is by far the common
                             // case and the safe read for token blanking.
+                            push_tok(&mut out, TokenKind::Char, String::new(), line_no, i);
                             code.push(' ');
                             code.push(' ');
                             code.push(' ');
                             i += 3;
                         } else {
-                            // Lifetime: keep the tick, it can't form a
-                            // rule token.
+                            // Lifetime: keep the tick and name; it can't
+                            // form a rule token but the parser uses it.
+                            let mut text = String::from('\'');
                             code.push('\'');
-                            i += 1;
+                            let mut j = i + 1;
+                            while j < chars.len() && is_ident_continue(chars[j]) {
+                                text.push(chars[j]);
+                                code.push(chars[j]);
+                                j += 1;
+                            }
+                            push_tok(&mut out, TokenKind::Lifetime, text, line_no, i);
+                            i = j;
                         }
                     }
+                    c if is_ident_start(c) => {
+                        let mut text = String::new();
+                        let mut j = i;
+                        while j < chars.len() && is_ident_continue(chars[j]) {
+                            text.push(chars[j]);
+                            code.push(chars[j]);
+                            j += 1;
+                        }
+                        push_tok(&mut out, TokenKind::Ident, text, line_no, i);
+                        i = j;
+                    }
+                    c if c.is_ascii_digit() => {
+                        let (end, is_float) = scan_number(&chars, i);
+                        let text: String = chars[i..end].iter().collect();
+                        for ch in &chars[i..end] {
+                            code.push(*ch);
+                        }
+                        let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
+                        push_tok(&mut out, kind, text, line_no, i);
+                        i = end;
+                    }
+                    c if c.is_whitespace() => {
+                        code.push(c);
+                        i += 1;
+                    }
                     _ => {
+                        push_tok(&mut out, TokenKind::Punct, c.to_string(), line_no, i);
                         code.push(c);
                         i += 1;
                     }
                 },
-                State::LineComment => unreachable!("consumed above"),
                 State::BlockComment(depth) => {
                     if c == '*' && next == Some('/') {
                         state = if depth == 1 {
@@ -206,9 +303,87 @@ pub fn strip(src: &str) -> Vec<Line> {
                 }
             }
         }
-        out.push(Line { code, comment });
+        out.lines.push(Line { code, comment });
     }
     out
+}
+
+fn push_tok(out: &mut LexedFile, kind: TokenKind, text: String, line_no: usize, col0: usize) {
+    out.tokens.push(Token {
+        kind,
+        text,
+        line: line_no + 1,
+        col: col0 + 1,
+    });
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan a numeric literal starting at `chars[start]` (an ASCII digit).
+/// Returns `(end_index, is_float)`. Handles radix prefixes, `_`
+/// separators, `1.5` / `1.` / `2e-3` floats, and type suffixes — and is
+/// careful to stop before `..` (a range, not a float) and before
+/// `1.method()` (an int with a method call).
+fn scan_number(chars: &[char], start: usize) -> (usize, bool) {
+    let mut j = start;
+    // Radix-prefixed integers never contain a float part.
+    if chars[j] == '0' {
+        if let Some(r) = chars.get(j + 1) {
+            if matches!(r, 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+                j += 2;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                return (j.max(start + 1), false);
+            }
+        }
+    }
+    let mut is_float = false;
+    // Integer part, exponents, and suffixes: alphanumerics and `_`, with
+    // a special case so `2e-3` consumes the signed exponent.
+    let consume_digits_and_suffix = |j: &mut usize| {
+        while *j < chars.len() {
+            let c = chars[*j];
+            if c.is_ascii_alphanumeric() || c == '_' {
+                if matches!(c, 'e' | 'E')
+                    && matches!(chars.get(*j + 1), Some('+') | Some('-'))
+                    && chars.get(*j + 2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    *j += 2; // the sign; the digit is consumed by the loop
+                }
+                *j += 1;
+            } else {
+                break;
+            }
+        }
+    };
+    consume_digits_and_suffix(&mut j);
+    if j < chars.len() && chars[j] == '.' {
+        match chars.get(j + 1) {
+            // `1.5`: fractional part follows.
+            Some(d) if d.is_ascii_digit() => {
+                is_float = true;
+                j += 1;
+                consume_digits_and_suffix(&mut j);
+            }
+            // `1..n` is a range and `1.max(2)` is a method call — the
+            // dot is not part of this literal.
+            Some(&'.') => {}
+            Some(&c) if is_ident_start(c) => {}
+            // `1.` trailing-dot float (possibly at end of line).
+            _ => {
+                is_float = true;
+                j += 1;
+            }
+        }
+    }
+    (j.max(start + 1), is_float)
 }
 
 fn raw_tail(chars: &[char], from: usize) -> String {
@@ -259,6 +434,15 @@ mod tests {
 
     fn code_of(src: &str) -> Vec<String> {
         strip(src).into_iter().map(|l| l.code).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
     }
 
     #[test]
@@ -345,7 +529,6 @@ mod tests {
 
     #[test]
     fn multi_line_statement_survives() {
-        // The rule scans join lines; the lexer just has to keep the code.
         let src = "v.sort_by(|a, b| {\n    a.partial_cmp(b)\n        .unwrap()\n});";
         let c = code_of(src);
         assert!(c[0].contains("sort_by"));
@@ -365,5 +548,87 @@ mod tests {
         // `over"s"` — the `r` belongs to `over`, so the string is just "s".
         assert!(c[0].contains("next();"));
         assert!(c[0].contains("let var = over"));
+    }
+
+    #[test]
+    fn tokens_carry_positions() {
+        let lex = tokenize("let x = 42;\nfoo.bar();");
+        let x = lex.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (1, 5));
+        let bar = lex.tokens.iter().find(|t| t.is_ident("bar")).unwrap();
+        assert_eq!((bar.line, bar.col), (2, 5));
+    }
+
+    #[test]
+    fn numbers_lex_as_one_token() {
+        let lex = tokenize("a(1_000u64, 0x5EED, 1.5e-3, 2., 0b1010);");
+        let nums: Vec<(&TokenKind, &str)> = lex
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+            .map(|t| (&t.kind, t.text.as_str()))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                (&TokenKind::Int, "1_000u64"),
+                (&TokenKind::Int, "0x5EED"),
+                (&TokenKind::Float, "1.5e-3"),
+                (&TokenKind::Float, "2."),
+                (&TokenKind::Int, "0b1010"),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_and_method_dots_are_not_float_parts() {
+        let lex = tokenize("for i in 0..10 { let m = 1.max(2); }");
+        assert!(lex.tokens.iter().any(|t| t.kind == TokenKind::Int && t.text == "0"));
+        assert!(lex.tokens.iter().any(|t| t.kind == TokenKind::Int && t.text == "10"));
+        assert!(lex.tokens.iter().any(|t| t.kind == TokenKind::Int && t.text == "1"));
+        assert!(lex.tokens.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn string_and_char_tokens_are_content_free() {
+        let lex = tokenize("let s = \"unwrap()\"; let c = 'x';");
+        let strs: Vec<&Token> = lex
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::Char))
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs.iter().all(|t| t.text.is_empty()));
+        assert!(!lex.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_holding_quotes_and_comments() {
+        // Regression: hashes + embedded quote + `//` inside the raw
+        // string must not open a comment or end the string early.
+        let src = "let s = r##\"a \"# b // not a comment\"##; tail();";
+        let lex = tokenize(src);
+        assert!(lex.lines[0].code.contains("tail();"));
+        assert!(lex.lines[0].comment.is_empty());
+        assert!(!lex.tokens.iter().any(|t| t.is_ident("comment")));
+    }
+
+    #[test]
+    fn nested_block_comment_with_string_delimiters() {
+        // Regression: `"` inside a nested block comment must not open a
+        // string that swallows the comment close.
+        let src = "before(); /* outer \" /* inner \" */ still */ after();";
+        let lex = tokenize(src);
+        assert!(lex.lines[0].code.contains("before();"));
+        assert!(lex.lines[0].code.contains("after();"));
+        assert!(lex.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn keywords_and_paths_tokenize_separately() {
+        assert_eq!(
+            idents("use std::collections::HashMap;"),
+            vec!["use", "std", "collections", "HashMap"]
+        );
     }
 }

@@ -1,13 +1,15 @@
-//! `wheels-lint` — determinism-invariant static analysis for the wheels
-//! workspace.
+//! `wheels-lint` — static analysis for the wheels workspace.
 //!
-//! Every table and figure this repo reproduces rests on one invariant:
+//! Every table and figure this repo reproduces rests on two invariants:
 //! output is a pure function of `(seed, scenario, scale)`, byte-identical
-//! at any `--jobs`/`--fig-jobs` count and under injected faults. The
-//! equivalence gates in `ci.sh` prove that *dynamically*; this crate
-//! enforces it *at the source level*, so a `HashMap` iteration or a
-//! `partial_cmp` sort is caught by review tooling instead of by a
-//! probabilistic CI failure. Rules:
+//! at any `--jobs`/`--fig-jobs` count and under injected faults; and an
+//! injected fault degrades a unit instead of aborting the campaign. The
+//! equivalence gates in `ci.sh` prove both *dynamically*; this crate
+//! enforces them *at the source level* with a token-level analyzer (a
+//! spanned tokenizer in [`lexer`], a lightweight item parser in
+//! [`parser`]) so a `HashMap` iteration, a stray `unwrap` in the
+//! executor, or an allocation in a hot span loop is caught by review
+//! tooling instead of by a probabilistic CI failure. Rules:
 //!
 //! | rule | guards against |
 //! |------|----------------|
@@ -17,18 +19,39 @@
 //! | D4   | RNG construction outside `netsim::rng` stream derivation    |
 //! | D5   | `partial_cmp(..).unwrap()/.expect(..)` NaN panics           |
 //! | D6   | bare `fs::write`/`File::create` (torn-output hazard)        |
+//! | D7   | panic surface (`unwrap`/`expect`/`panic!`/slice index) in   |
+//! |      | the fault-tolerant trees (executor, checkpoint, export,     |
+//! |      | apps)                                                       |
+//! | D8   | allocation in registered hot paths (`lint-hotpaths.toml`),  |
+//! |      | one call level deep                                         |
+//! | D9   | RNG-domain provenance: `derive_seed`/`stream` sites must    |
+//! |      | use domains declared once in `netsim::rng`, at a consistent |
+//! |      | key arity (`lint-rng-domains.toml`)                         |
 //!
 //! Suppression is an adjacent `// lint:allow(Dn): <reason>` comment —
 //! same line, or a comment-only line directly above the offending code.
 //! The reason is mandatory: an allow without one does not suppress.
+//!
+//! Diagnostics are machine-readable: every finding carries a stable
+//! [`Finding::fingerprint`] (rule + relative path + enclosing function +
+//! stripped line text + ordinal — never the line number, so unrelated
+//! edits do not invalidate entries), and pre-existing debt is tracked in
+//! a checked-in `lint-baseline.json` ratchet (see [`baseline`] and
+//! [`apply_baseline`]): new findings fail CI, and so do stale baseline
+//! entries, forcing the file to shrink monotonically.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-/// The determinism rules. `D1` < `D2` < ... orders report output.
+pub use config::LintConfig;
+
+/// The rules. `D1` < `D2` < ... orders report output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Float `partial_cmp` keying an ordering sink.
@@ -44,11 +67,31 @@ pub enum Rule {
     /// Bare `fs::write`/`File::create` in non-test code: a crash
     /// mid-write leaves a torn file under its final name.
     D6,
+    /// Panic surface in the fault-tolerant trees: `unwrap`/`expect`,
+    /// panic-family macros, and slice indexes that abort a unit instead
+    /// of degrading it.
+    D7,
+    /// Allocation inside a registered hot-path function (directly or one
+    /// call level deep).
+    D8,
+    /// RNG-domain provenance: undeclared/duplicated domain constants or
+    /// inconsistent key arity at `derive_seed`/`stream` sites.
+    D9,
 }
 
 impl Rule {
     /// All rules, report order.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+    pub const ALL: [Rule; 9] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::D6,
+        Rule::D7,
+        Rule::D8,
+        Rule::D9,
+    ];
 
     /// The rule's identifier, as written in `lint:allow(..)`.
     pub fn id(self) -> &'static str {
@@ -59,6 +102,9 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
+            Rule::D8 => "D8",
+            Rule::D9 => "D9",
         }
     }
 
@@ -77,21 +123,29 @@ impl fmt::Display for Rule {
 /// One lint finding, after suppression resolution.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// File the finding is in.
+    /// File the finding is in (as given to the linter).
     pub file: PathBuf,
+    /// Workspace-relative, `/`-separated path (fingerprint input).
+    pub rel: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the anchoring token.
+    pub col: usize,
     /// Which rule fired.
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// Qualified name of the enclosing function, empty at item level.
+    pub context: String,
+    /// Stable identity for baselining; see [`baseline::fingerprint`].
+    pub fingerprint: String,
     /// `Some(reason)` when an allow directive (or the built-in module
     /// allowlist) suppresses this finding.
     pub suppressed: Option<String>,
 }
 
 impl Finding {
-    /// Whether this finding should fail the build.
+    /// Whether this finding should fail the build (before baselining).
     pub fn is_unsuppressed(&self) -> bool {
         self.suppressed.is_none()
     }
@@ -113,11 +167,12 @@ impl fmt::Display for Finding {
 /// Modules with a standing exemption from one rule. Paths are
 /// `/`-separated suffixes of the workspace-relative file path.
 ///
-/// Kept deliberately tiny: the only ambient-nondeterminism consumer in
-/// the tree is the `--timings` instrumentation in the repro driver
-/// (wall-clock phase timings are *reported*, never fed back into
-/// simulation state), and the only legitimate bare RNG constructors are
-/// the stream-derivation layer itself and scenario compilation.
+/// Kept deliberately tiny: the only ambient-nondeterminism consumers in
+/// the tree are the `--timings` instrumentation in the repro driver and
+/// the linter's own wall-time report (clock reads are *reported*, never
+/// fed back into simulation state), and the only legitimate bare RNG
+/// constructors are the stream-derivation layer itself and scenario
+/// compilation.
 pub const BUILTIN_ALLOW: &[(&str, Rule, &str)] = &[
     (
         "crates/bench/src/bin/repro.rs",
@@ -188,106 +243,93 @@ fn path_is_test(path: &Path) -> bool {
     })
 }
 
-/// Mark the lines belonging to `#[cfg(test)] mod ... { ... }` regions.
-fn test_regions(code: &[String]) -> Vec<bool> {
-    let mut out = Vec::with_capacity(code.len());
-    let mut depth: i32 = 0;
-    // Armed after `#[cfg(test)]`, waiting for the `mod`'s opening brace.
-    let mut armed = false;
-    let mut region_close: Option<i32> = None;
-    for line in code {
-        let test_at_start = region_close.is_some();
-        let trimmed = line.trim();
-        if trimmed.contains("#[cfg(test)]") {
-            armed = true;
-        }
-        let line_has_mod = {
-            // A standalone `mod` token (not `model`, not a path segment).
-            line.match_indices("mod").any(|(p, _)| {
-                let before_ok = p == 0
-                    || !line[..p]
-                        .chars()
-                        .next_back()
-                        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':');
-                let after = &line[p + 3..];
-                let after_ok = after.chars().next().is_none_or(|c| c.is_whitespace());
-                before_ok && after_ok
-            })
-        };
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    if armed && line_has_mod && region_close.is_none() {
-                        region_close = Some(depth);
-                        armed = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if region_close == Some(depth) {
-                        region_close = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-        // `#[cfg(test)]` guarding a single non-mod item (a `use`, a fn):
-        // disarm once a code-bearing, non-attribute, non-mod line passes.
-        if armed && !trimmed.is_empty() && !trimmed.starts_with("#[") && !line_has_mod {
-            armed = false;
-            // ... but that guarded line itself is test-only.
-            out.push(true);
-            continue;
-        }
-        out.push(test_at_start || region_close.is_some());
-    }
-    out
+/// Normalize a path for matching and fingerprints: workspace-relative
+/// when `root` strips cleanly, always `/`-separated.
+fn rel_path(path: &Path, root: Option<&Path>) -> String {
+    let p = root
+        .and_then(|r| path.strip_prefix(r).ok())
+        .unwrap_or(path);
+    p.to_string_lossy().replace('\\', "/")
 }
 
-/// Lint one file's source text. `path` decides test-only status and the
-/// built-in allowlist; it is stored verbatim in the findings.
-pub fn lint_source(path: &Path, src: &str) -> Vec<Finding> {
-    let lines = lexer::strip(src);
-    let code: Vec<String> = lines.iter().map(|l| l.code.clone()).collect();
-    let is_test = if path_is_test(path) {
-        vec![true; code.len()]
-    } else {
-        test_regions(&code)
-    };
+/// One file queued for analysis.
+struct FileEntry {
+    path: PathBuf,
+    rel: String,
+    src: String,
+}
 
-    // Attach allow directives: same line when it carries code, otherwise
-    // the next code-bearing line (comment-block-above style).
-    let mut allows: Vec<Vec<Allow>> = vec![Vec::new(); code.len().max(1)];
-    for (i, line) in lines.iter().enumerate() {
-        let parsed = parse_allows(&line.comment);
-        if parsed.is_empty() {
-            continue;
-        }
-        let target = if !code[i].trim().is_empty() {
-            Some(i)
-        } else {
-            (i + 1..code.len()).find(|&j| !code[j].trim().is_empty())
-        };
-        if let Some(t) = target {
-            allows[t].extend(parsed);
-        }
-    }
-
-    let norm: String = path.to_string_lossy().replace('\\', "/");
-    let builtin: Vec<(Rule, &str)> = BUILTIN_ALLOW
+/// The full engine: lex/parse every file, run D1–D7 per file, D8/D9
+/// across the set, resolve suppressions, and assign fingerprints.
+fn lint_set(entries: Vec<FileEntry>, cfg: &LintConfig) -> Vec<Finding> {
+    // Analyze every file.
+    let analyzed: Vec<rules::AnalyzedFile> = entries
         .iter()
-        .filter(|(suffix, _, _)| norm.ends_with(suffix))
-        .map(|&(_, rule, why)| (rule, why))
+        .map(|e| rules::analyze(&e.rel, &e.src, path_is_test(&e.path)))
         .collect();
 
-    let raw = rules::run(&rules::FileContext {
-        code: &code,
-        is_test: &is_test,
-    });
-    raw.into_iter()
-        .map(|f| {
-            let idx = f.line - 1;
+    // Per-file raw findings, then the cross-file rules.
+    let mut raw: Vec<Vec<rules::RawFinding>> =
+        analyzed.iter().map(|f| rules::run(f, cfg)).collect();
+    for (idx, finding) in rules::finalize(&analyzed, cfg) {
+        raw[idx].push(finding);
+    }
+
+    let mut out = Vec::new();
+    for ((entry, file), mut raws) in entries.iter().zip(&analyzed).zip(raw.drain(..)) {
+        raws.sort_by_key(|f| (f.line, f.rule as u8, f.col));
+
+        // Attach allow directives: same line when it carries code,
+        // otherwise the next code-bearing line (comment-above style).
+        let n = file.lines.len();
+        let mut allows: Vec<Vec<Allow>> = vec![Vec::new(); n.max(1)];
+        for (i, line) in file.lines.iter().enumerate() {
+            let parsed = parse_allows(&line.comment);
+            if parsed.is_empty() {
+                continue;
+            }
+            let target = if !file.lines[i].code.trim().is_empty() {
+                Some(i)
+            } else {
+                (i + 1..n).find(|&j| !file.lines[j].code.trim().is_empty())
+            };
+            if let Some(t) = target {
+                allows[t].extend(parsed);
+            }
+        }
+
+        let builtin: Vec<(Rule, &str)> = BUILTIN_ALLOW
+            .iter()
+            .filter(|(suffix, _, _)| entry.rel.ends_with(suffix))
+            .map(|&(_, rule, why)| (rule, why))
+            .collect();
+
+        // Ordinals disambiguate repeated identical (rule, context,
+        // snippet) tuples within a file, in source order.
+        let mut ordinals: Vec<((Rule, String, String), usize)> = Vec::new();
+        for f in raws {
+            let idx = f.line.saturating_sub(1);
+            let snippet = file
+                .lines
+                .get(idx)
+                .map(|l| l.code.trim().to_string())
+                .unwrap_or_default();
+            let context = file
+                .model
+                .enclosing_fn(f.line)
+                .map(|func| func.qual.clone())
+                .unwrap_or_default();
+            let key = (f.rule, context.clone(), snippet.clone());
+            let ordinal = match ordinals.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, count)) => {
+                    *count += 1;
+                    *count
+                }
+                None => {
+                    ordinals.push((key, 0));
+                    0
+                }
+            };
             let suppressed = allows
                 .get(idx)
                 .and_then(|a| a.iter().find(|a| a.rule == f.rule))
@@ -298,15 +340,49 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Finding> {
                         .find(|(r, _)| *r == f.rule)
                         .map(|(_, why)| format!("builtin allowlist: {why}"))
                 });
-            Finding {
-                file: path.to_path_buf(),
+            out.push(Finding {
+                file: entry.path.clone(),
+                rel: entry.rel.clone(),
                 line: f.line,
+                col: f.col,
                 rule: f.rule,
+                fingerprint: baseline::fingerprint(
+                    f.rule.id(),
+                    &entry.rel,
+                    &context,
+                    &snippet,
+                    ordinal,
+                ),
+                context,
                 message: f.message,
                 suppressed,
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.rel, a.line, a.rule, a.col).cmp(&(&b.rel, b.line, b.rule, b.col))
+    });
+    out
+}
+
+/// Lint one file's source text with the builtin configuration. `path`
+/// decides test-only status and the built-in allowlist; it is stored
+/// verbatim in the findings. (Cross-file D9 checks that need the
+/// declaring module are skipped naturally — it is not in the set.)
+pub fn lint_source(path: &Path, src: &str) -> Vec<Finding> {
+    lint_source_with(path, src, &LintConfig::builtin())
+}
+
+/// [`lint_source`] with an explicit configuration (fixtures use this).
+pub fn lint_source_with(path: &Path, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    lint_set(
+        vec![FileEntry {
+            path: path.to_path_buf(),
+            rel: rel_path(path, None),
+            src: src.to_string(),
+        }],
+        cfg,
+    )
 }
 
 /// Recursively collect `.rs` files under `root` in sorted order,
@@ -336,20 +412,83 @@ pub fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<
     Ok(())
 }
 
-/// Lint every `.rs` file under `paths`. Returns `(findings, files)`.
-pub fn lint_paths(paths: &[PathBuf]) -> std::io::Result<(Vec<Finding>, usize)> {
+/// Lint every `.rs` file under `paths` as one cross-file analysis set.
+/// `root` (when given) relativizes paths for fingerprints, so a sweep
+/// from the repo root and one over absolute paths agree byte-for-byte.
+/// Returns `(findings, files_scanned)`.
+pub fn lint_paths(
+    paths: &[PathBuf],
+    root: Option<&Path>,
+    cfg: &LintConfig,
+) -> std::io::Result<(Vec<Finding>, usize)> {
     let mut files = Vec::new();
     for p in paths {
         collect_rs_files(p, &mut files)?;
     }
     files.sort();
     files.dedup();
-    let mut findings = Vec::new();
+    let mut entries = Vec::with_capacity(files.len());
     for f in &files {
-        let src = std::fs::read_to_string(f)?;
-        findings.extend(lint_source(f, &src));
+        entries.push(FileEntry {
+            path: f.clone(),
+            rel: rel_path(f, root),
+            src: std::fs::read_to_string(f)?,
+        });
     }
-    Ok((findings, files.len()))
+    let n = entries.len();
+    Ok((lint_set(entries, cfg), n))
+}
+
+/// The result of matching findings against the ratchet baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Unsuppressed findings covered by the baseline: known debt.
+    pub baselined: Vec<Finding>,
+    /// Unsuppressed findings NOT in the baseline: these fail CI.
+    pub fresh: Vec<Finding>,
+    /// Baseline entries that no longer fire: the debt was paid but the
+    /// entry was not removed — these fail CI too (ratchet-down).
+    pub stale: Vec<baseline::BaselineEntry>,
+}
+
+/// Partition unsuppressed findings against the baseline and detect
+/// stale entries. Suppressed findings never consume a baseline entry.
+pub fn apply_baseline(
+    findings: &[Finding],
+    entries: &[baseline::BaselineEntry],
+) -> BaselineOutcome {
+    let mut out = BaselineOutcome::default();
+    for f in findings.iter().filter(|f| f.is_unsuppressed()) {
+        if entries.iter().any(|e| e.fingerprint == f.fingerprint) {
+            out.baselined.push(f.clone());
+        } else {
+            out.fresh.push(f.clone());
+        }
+    }
+    for e in entries {
+        let fired = findings
+            .iter()
+            .any(|f| f.is_unsuppressed() && f.fingerprint == e.fingerprint);
+        if !fired {
+            out.stale.push(e.clone());
+        }
+    }
+    out
+}
+
+/// Baseline entries for the current unsuppressed findings (what
+/// `--write-baseline` records).
+pub fn to_baseline_entries(findings: &[Finding]) -> Vec<baseline::BaselineEntry> {
+    findings
+        .iter()
+        .filter(|f| f.is_unsuppressed())
+        .map(|f| baseline::BaselineEntry {
+            fingerprint: f.fingerprint.clone(),
+            rule: f.rule.id().to_string(),
+            file: f.rel.clone(),
+            message: f.message.clone(),
+        })
+        .collect()
 }
 
 /// JSON-escape a string (no external deps on purpose).
@@ -369,23 +508,90 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn finding_json(f: &Finding, status: &str) -> String {
+    format!(
+        "{{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"suppressed\": {}, \"context\": \"{}\", \"fingerprint\": \"{}\", \"status\": \"{}\"}}",
+        json_escape(&f.file.to_string_lossy().replace('\\', "/")),
+        f.line,
+        f.col,
+        f.rule,
+        json_escape(&f.message),
+        f.suppressed
+            .as_ref()
+            .map_or("null".to_string(), |r| format!("\"{}\"", json_escape(r))),
+        json_escape(&f.context),
+        f.fingerprint,
+        status,
+    )
+}
+
+fn finding_status(f: &Finding, outcome: Option<&BaselineOutcome>) -> &'static str {
+    if f.suppressed.is_some() {
+        return "suppressed";
+    }
+    match outcome {
+        Some(o) if o.baselined.iter().any(|b| b.fingerprint == f.fingerprint) => "baselined",
+        _ => "new",
+    }
+}
+
 /// Render findings as a machine-readable JSON array (stable field order).
 pub fn to_json(findings: &[Finding]) -> String {
     let mut out = String::from("[\n");
     for (i, f) in findings.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"suppressed\": {}}}{}\n",
-            json_escape(&f.file.to_string_lossy().replace('\\', "/")),
-            f.line,
-            f.rule,
-            json_escape(&f.message),
-            f.suppressed
-                .as_ref()
-                .map_or("null".to_string(), |r| format!("\"{}\"", json_escape(r))),
-            if i + 1 < findings.len() { "," } else { "" },
-        ));
+        out.push_str("  ");
+        out.push_str(&finding_json(f, finding_status(f, None)));
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
     }
     out.push(']');
+    out
+}
+
+/// Render the full SARIF-ish run report (`LINT_report.json`): tool
+/// metadata, scan stats, every finding with its baseline status, and
+/// the baseline reconciliation summary.
+pub fn render_report(
+    findings: &[Finding],
+    files_scanned: usize,
+    wall_ms: u128,
+    outcome: Option<&BaselineOutcome>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": \"wheels-lint\",\n  \"schema\": \"wheels-lint-report/2\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
+    let suppressed = findings.iter().filter(|f| f.suppressed.is_some()).count();
+    out.push_str(&format!(
+        "  \"summary\": {{\"total\": {}, \"suppressed\": {}, \"baselined\": {}, \"new\": {}, \"stale_baseline\": {}}},\n",
+        findings.len(),
+        suppressed,
+        outcome.map_or(0, |o| o.baselined.len()),
+        outcome.map_or_else(
+            || findings.iter().filter(|f| f.is_unsuppressed()).count(),
+            |o| o.fresh.len()
+        ),
+        outcome.map_or(0, |o| o.stale.len()),
+    ));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&finding_json(f, finding_status(f, outcome)));
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stale_baseline\": [\n");
+    if let Some(o) = outcome {
+        for (i, e) in o.stale.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\"}}{}\n",
+                json_escape(&e.fingerprint),
+                json_escape(&e.rule),
+                json_escape(&e.file),
+                if i + 1 < o.stale.len() { "," } else { "" },
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -401,8 +607,12 @@ pub struct FixtureResult {
 }
 
 /// Run the self-check over a fixture corpus directory containing `bad/`
-/// and `allowed/` subdirectories.
+/// and `allowed/` subdirectories. The corpus carries its own
+/// `lint-hotpaths.toml`/`lint-rng-domains.toml` so D8/D9 fixtures are
+/// self-contained and independent of the workspace registries.
 pub fn check_fixtures(dir: &Path) -> std::io::Result<Vec<FixtureResult>> {
+    let cfg = LintConfig::load(dir)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let mut results = Vec::new();
     for (sub, want_findings) in [("bad", true), ("allowed", false)] {
         let mut files = Vec::new();
@@ -410,7 +620,7 @@ pub fn check_fixtures(dir: &Path) -> std::io::Result<Vec<FixtureResult>> {
         files.sort();
         for f in files {
             let src = std::fs::read_to_string(&f)?;
-            let findings = lint_source(&f, &src);
+            let findings = lint_source_with(&f, &src, &cfg);
             let unsuppressed: Vec<&Finding> =
                 findings.iter().filter(|f| f.is_unsuppressed()).collect();
             let error = if want_findings {
@@ -505,11 +715,23 @@ mod tests {
     }
 
     #[test]
+    fn d7_allow_suppresses_with_reason() {
+        let f = lint_source(
+            Path::new("crates/campaign/src/x.rs"),
+            "let v = slots[i]; // lint:allow(D7): i < slots.len() checked above\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::D7);
+        assert!(f[0].suppressed.is_some());
+    }
+
+    #[test]
     fn builtin_allowlist_suppresses_by_suffix() {
         let f = lint_source(
             Path::new("crates/bench/src/bin/repro.rs"),
             "let t0 = Instant::now();\n",
         );
+        // repro.rs is in the D7 scope too, but Instant::now is only D3.
         assert_eq!(f.len(), 1);
         assert!(f[0].suppressed.as_deref().unwrap().starts_with("builtin"));
     }
@@ -565,5 +787,87 @@ mod tests {
         assert!(j.starts_with('[') && j.ends_with(']'));
         assert!(j.contains("\"rule\": \"D3\""));
         assert!(j.contains("\"suppressed\": null"));
+        assert!(j.contains("\"fingerprint\": \""));
+    }
+
+    #[test]
+    fn findings_carry_context_and_fingerprint() {
+        let src = "impl Exec {\n    fn run(&self) {\n        let v = x.unwrap();\n    }\n}\n";
+        let f = lint_source(Path::new("crates/campaign/src/executor.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].context, "Exec::run");
+        assert_eq!(f[0].fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_survives_line_moves() {
+        let body = "impl Exec {\n    fn run(&self) {\n        let v = x.unwrap();\n    }\n}\n";
+        let moved = format!("// a new leading comment\n\n{body}");
+        let path = Path::new("crates/campaign/src/executor.rs");
+        let a = lint_source(path, body);
+        let b = lint_source(path, &moved);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_ne!(a[0].line, b[0].line);
+        assert_eq!(a[0].fingerprint, b[0].fingerprint, "line moves must not re-key");
+    }
+
+    #[test]
+    fn repeated_identical_sites_get_distinct_fingerprints() {
+        let src = "fn run() {\n    let a = x.unwrap();\n    let b = y.unwrap();\n    let c = x.unwrap();\n}\n";
+        let f = lint_source(Path::new("crates/campaign/src/executor.rs"), src);
+        assert_eq!(f.len(), 3);
+        let mut fps: Vec<&str> = f.iter().map(|f| f.fingerprint.as_str()).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), 3, "all three sites must be distinct");
+    }
+
+    #[test]
+    fn apply_baseline_partitions_and_ratchets() {
+        let src = "fn run() {\n    let a = x.unwrap();\n    let b = y.expect(\"y\");\n}\n";
+        let f = lint_source(Path::new("crates/campaign/src/executor.rs"), src);
+        assert_eq!(f.len(), 2);
+        // Baseline the first finding plus one entry that never fires.
+        let mut entries = to_baseline_entries(&f[..1]);
+        entries.push(baseline::BaselineEntry {
+            fingerprint: "dead000000000000".to_string(),
+            rule: "D7".to_string(),
+            file: "gone.rs".to_string(),
+            message: String::new(),
+        });
+        let outcome = apply_baseline(&f, &entries);
+        assert_eq!(outcome.baselined.len(), 1);
+        assert_eq!(outcome.fresh.len(), 1);
+        assert_eq!(outcome.stale.len(), 1);
+        assert_eq!(outcome.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn suppressed_finding_makes_its_baseline_entry_stale() {
+        let path = Path::new("crates/campaign/src/executor.rs");
+        let before = lint_source(path, "fn run() {\n    let a = x.unwrap();\n}\n");
+        let entries = to_baseline_entries(&before);
+        assert_eq!(entries.len(), 1);
+        let after = lint_source(
+            path,
+            "fn run() {\n    let a = x.unwrap(); // lint:allow(D7): infallible, seeded above\n}\n",
+        );
+        let outcome = apply_baseline(&after, &entries);
+        assert!(outcome.fresh.is_empty());
+        assert_eq!(outcome.stale.len(), 1, "paying debt must force entry removal");
+    }
+
+    #[test]
+    fn report_counts_statuses() {
+        let src = "fn run() {\n    let a = x.unwrap();\n    let b = y.unwrap(); // lint:allow(D7): checked\n}\n";
+        let f = lint_source(Path::new("crates/campaign/src/executor.rs"), src);
+        let outcome = apply_baseline(&f, &[]);
+        let report = render_report(&f, 1, 7, Some(&outcome));
+        assert!(report.contains("\"files_scanned\": 1"));
+        assert!(report.contains("\"wall_ms\": 7"));
+        assert!(report.contains("\"status\": \"new\""));
+        assert!(report.contains("\"status\": \"suppressed\""));
+        assert!(baseline::parse_json(&report).is_ok(), "report must be valid JSON");
     }
 }

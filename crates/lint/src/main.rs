@@ -1,114 +1,238 @@
-//! CLI driver for `wheels-lint`.
+//! `wheels-lint` CLI.
 //!
 //! ```text
-//! cargo run -p wheels-lint --offline -- crates/ src/ examples/ tests/
-//! cargo run -p wheels-lint --offline -- --json crates/
-//! cargo run -p wheels-lint --offline -- --fixtures
+//! wheels-lint [--fixtures]
+//!             [--json] [--json-out FILE]
+//!             [--baseline FILE] [--write-baseline FILE]
+//!             [PATH ...]
 //! ```
 //!
-//! Exit status: 0 = no unsuppressed findings (or all fixtures behave),
-//! 1 = findings (or fixture mismatch), 2 = usage/IO error.
+//! Default paths: `crates/ src/ examples/ tests/` (those that exist).
+//! Configuration (`lint-hotpaths.toml`, `lint-rng-domains.toml`) is read
+//! from the current directory — run from the workspace root, as `ci.sh`
+//! does.
+//!
+//! Exit codes: `0` clean, `1` findings (or fixture self-check failure,
+//! or a stale baseline entry), `2` usage/config/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+// lint:allow(D3): the lint wall-time report measures the linter itself, never simulation state
+use std::time::Instant;
 
-use wheels_lint::{check_fixtures, lint_paths, to_json, Finding};
+use wheels_lint::{
+    apply_baseline, baseline, check_fixtures, lint_paths, render_report, to_baseline_entries,
+    BaselineOutcome, Finding, LintConfig,
+};
 
-const USAGE: &str = "usage: wheels-lint [--json] [--fixtures] [PATH ...]\n\
-  PATH        files or directories to lint (default: crates/ src/ examples/ tests/)\n\
-  --json      emit findings (including suppressed ones) as JSON\n\
-  --fixtures  self-check: every fixtures/bad file must fire its rule,\n\
-              every fixtures/allowed file must lint clean";
+const USAGE: &str = "usage: wheels-lint [--fixtures] [--json] [--json-out FILE] \
+[--baseline FILE] [--write-baseline FILE] [PATH ...]\n\
+  PATH              files or directories to lint (default: crates/ src/ examples/ tests/)\n\
+  --json            print the full run report (all findings + statuses) as JSON\n\
+  --json-out FILE   additionally write the run report to FILE (e.g. LINT_report.json)\n\
+  --baseline FILE   ratchet mode: only non-baselined findings fail, and any\n\
+                    baseline entry that no longer fires fails too\n\
+  --write-baseline FILE  record current unsuppressed findings as the new baseline\n\
+  --fixtures        self-check: every fixtures/bad file must fire its rule,\n\
+                    every fixtures/allowed file must be clean";
 
-fn main() -> ExitCode {
-    let mut json = false;
-    let mut fixtures = false;
-    let mut paths: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--fixtures" => fixtures = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return ExitCode::SUCCESS;
+struct Args {
+    fixtures: bool,
+    json: bool,
+    json_out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        fixtures: false,
+        json: false,
+        json_out: None,
+        baseline: None,
+        write_baseline: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fixtures" => args.fixtures = true,
+            "--json" => args.json = true,
+            "--json-out" => args.json_out = Some(next_path(&mut it)?),
+            "--baseline" => args.baseline = Some(next_path(&mut it)?),
+            "--write-baseline" => args.write_baseline = Some(next_path(&mut it)?),
+            "--help" | "-h" => return Err(usage()),
+            p if p.starts_with('-') => {
+                eprintln!("unknown flag: {p}");
+                return Err(usage());
             }
-            flag if flag.starts_with('-') => {
-                eprintln!("wheels-lint: unknown flag `{flag}`\n{USAGE}");
-                return ExitCode::from(2);
-            }
-            p => paths.push(PathBuf::from(p)),
+            p => args.paths.push(PathBuf::from(p)),
         }
     }
+    Ok(args)
+}
 
-    if fixtures {
-        return run_fixture_check();
+fn next_path(it: &mut impl Iterator<Item = String>) -> Result<PathBuf, ExitCode> {
+    it.next().map(PathBuf::from).ok_or_else(usage)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    if args.fixtures {
+        return run_fixtures();
     }
 
-    if paths.is_empty() {
-        paths = ["crates", "src", "examples", "tests"]
-            .iter()
-            .map(PathBuf::from)
-            .filter(|p| p.exists())
-            .collect();
-    }
-
-    let (findings, files) = match lint_paths(&paths) {
-        Ok(r) => r,
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let cfg = match LintConfig::load(&cwd) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("wheels-lint: {e}");
+            eprintln!("lint: config error: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let unsuppressed: Vec<&Finding> = findings.iter().filter(|f| f.is_unsuppressed()).collect();
-    let suppressed = findings.len() - unsuppressed.len();
-
-    if json {
-        println!("{}", to_json(&findings));
-    } else {
-        for f in &unsuppressed {
-            println!("{f}");
+    let mut paths = args.paths.clone();
+    if paths.is_empty() {
+        for p in ["crates", "src", "examples", "tests"] {
+            let pb = PathBuf::from(p);
+            if pb.exists() {
+                paths.push(pb);
+            }
         }
-        eprintln!(
-            "wheels-lint: {files} files scanned, {} unsuppressed finding{} ({suppressed} suppressed)",
-            unsuppressed.len(),
-            if unsuppressed.len() == 1 { "" } else { "s" },
-        );
     }
 
-    if unsuppressed.is_empty() {
-        ExitCode::SUCCESS
+    // lint:allow(D3): wall time is printed for the CI log, never fed into analysis
+    let t0 = Instant::now();
+    let (findings, files) = match lint_paths(&paths, Some(&cwd), &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = t0.elapsed().as_millis();
+
+    if let Some(out) = &args.write_baseline {
+        let entries = to_baseline_entries(&findings);
+        let text = baseline::render_baseline(&entries);
+        // lint:allow(D6): the baseline is a dev artifact regenerated on demand, not campaign output
+        if let Err(e) = std::fs::write(out, text) {
+            eprintln!("lint: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "lint: wrote {} baseline entries to {}",
+            entries.len(),
+            out.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome: Option<BaselineOutcome> = match &args.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("lint: reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match baseline::parse_baseline(&text) {
+                Ok(entries) => Some(apply_baseline(&findings, &entries)),
+                Err(e) => {
+                    eprintln!("lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    let report = render_report(&findings, files, wall_ms, outcome.as_ref());
+    if args.json {
+        println!("{report}");
+    }
+    if let Some(out) = &args.json_out {
+        // lint:allow(D6): the lint report is a CI artifact, not campaign output the byte gates compare
+        if let Err(e) = std::fs::write(out, &report) {
+            eprintln!("lint: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let failing: Vec<&Finding> = match &outcome {
+        Some(o) => o.fresh.iter().collect(),
+        None => findings.iter().filter(|f| f.is_unsuppressed()).collect(),
+    };
+    if !args.json {
+        for f in &failing {
+            println!("{f}");
+        }
+    }
+    let mut failed = !failing.is_empty();
+    if let Some(o) = &outcome {
+        for e in &o.stale {
+            eprintln!(
+                "lint: stale baseline entry {} ({} in {}): the finding no longer \
+                 fires — remove the entry (ratchet down)",
+                e.fingerprint, e.rule, e.file
+            );
+        }
+        failed = failed || !o.stale.is_empty();
+        eprintln!(
+            "lint: {files} files, {} findings ({} baselined, {} suppressed, {} new, {} stale) in {wall_ms} ms",
+            findings.len(),
+            o.baselined.len(),
+            findings.iter().filter(|f| f.suppressed.is_some()).count(),
+            o.fresh.len(),
+            o.stale.len(),
+        );
     } else {
+        eprintln!(
+            "lint: {files} files, {} findings ({} suppressed, {} failing) in {wall_ms} ms",
+            findings.len(),
+            findings.iter().filter(|f| f.suppressed.is_some()).count(),
+            failing.len(),
+        );
+    }
+    if failed {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
-fn run_fixture_check() -> ExitCode {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
-    let results = match check_fixtures(&dir) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("wheels-lint: fixtures: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let mut failed = 0usize;
-    for r in &results {
-        match &r.error {
-            None => println!("ok   {}", r.file.display()),
-            Some(e) => {
-                failed += 1;
-                println!("FAIL {}: {e}", r.file.display());
+fn run_fixtures() -> ExitCode {
+    let dir = PathBuf::from("crates/lint/fixtures");
+    match check_fixtures(&dir) {
+        Ok(results) => {
+            let mut bad = 0;
+            for r in &results {
+                if let Some(err) = &r.error {
+                    eprintln!("fixture {}: {err}", r.file.display());
+                    bad += 1;
+                }
+            }
+            eprintln!("lint fixtures: {} checked, {} failed", results.len(), bad);
+            if bad == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
             }
         }
-    }
-    eprintln!(
-        "wheels-lint: {} fixtures checked, {failed} failed",
-        results.len()
-    );
-    if failed == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+        Err(e) => {
+            eprintln!("lint: fixtures: {e}");
+            ExitCode::from(2)
+        }
     }
 }

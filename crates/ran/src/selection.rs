@@ -210,7 +210,7 @@ pub fn evaluate_layer_span(
     );
     // The shadowing advance is unconditional for every audible cell —
     // pruned-from-scoring or not — or the per-field RNG streams shift.
-    let sh = shadows.advance_span(tech, range.clone(), ids, od_m);
+    let sh = shadows.advance_span(tech, range.start..range.end, ids, od_m);
     let mut best: Option<(CellId, f64)> = None;
     let mut second: Option<(CellId, f64)> = None;
     for (j, i) in range.enumerate() {

@@ -435,8 +435,8 @@ impl UeRadio {
         // layer's cursor (already advanced by the scan) does not move.
         let window = s.tech.nominal_range_m() * 1.6;
         let layer = self.db.layer(s.tech);
-        let range = self.win[tech_idx(s.tech)].range(layer.od_m(), od, window);
-        let pos = range.clone().find(|&i| layer.ids()[i] == s.cell)?;
+        let mut range = self.win[tech_idx(s.tech)].range(layer.od_m(), od, window);
+        let pos = range.find(|&i| layer.ids()[i] == s.cell)?;
         let along = od - layer.od_m()[pos];
         let dist = (along * along + layer.lat_sq_m2()[pos]).sqrt();
         let eirp = layer.eirp_re_dbm()[pos];

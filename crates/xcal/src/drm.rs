@@ -89,6 +89,7 @@ fn tech_code(t: Technology) -> u8 {
     Technology::ALL
         .iter()
         .position(|&x| x == t)
+        // lint:allow(D7): Technology::ALL enumerates every variant, so the position always exists
         .expect("known technology") as u8
 }
 
@@ -145,27 +146,31 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DrmError> {
-        if self.pos + n > self.data.len() {
-            return Err(DrmError::Truncated);
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        // Total: `checked_add` covers the `pos + n` overflow the old
+        // comparison could hit, and `get` covers the range itself.
+        let end = self.pos.checked_add(n).ok_or(DrmError::Truncated)?;
+        let s = self.data.get(self.pos..end).ok_or(DrmError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
     fn u8(&mut self) -> Result<u8, DrmError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(DrmError::Truncated)
     }
     fn u16(&mut self) -> Result<u16, DrmError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        let b: [u8; 2] = self.take(2)?.try_into().map_err(|_| DrmError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
     }
     fn u32(&mut self) -> Result<u32, DrmError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| DrmError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
     fn f32(&mut self) -> Result<f32, DrmError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| DrmError::Truncated)?;
+        Ok(f32::from_le_bytes(b))
     }
     fn f64(&mut self) -> Result<f64, DrmError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| DrmError::Truncated)?;
+        Ok(f64::from_le_bytes(b))
     }
     fn str16(&mut self) -> Result<String, DrmError> {
         let n = self.u16()? as usize;
@@ -213,6 +218,7 @@ fn region_code(r: wheels_geo::region::RegionKind) -> u8 {
     wheels_geo::region::RegionKind::ALL
         .iter()
         .position(|&x| x == r)
+        // lint:allow(D7): RegionKind::ALL enumerates every variant, so the position always exists
         .expect("known region") as u8
 }
 
@@ -220,6 +226,7 @@ fn tz_code(t: wheels_geo::timezone::Timezone) -> u8 {
     wheels_geo::timezone::Timezone::ALL
         .iter()
         .position(|&x| x == t)
+        // lint:allow(D7): Timezone::ALL enumerates every variant, so the position always exists
         .expect("known timezone") as u8
 }
 
@@ -272,7 +279,8 @@ pub fn decode(data: &[u8]) -> Result<XcalLog, DrmError> {
         return Err(DrmError::Truncated);
     }
     let (body, trailer) = data.split_at(data.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().expect("len 4"));
+    let trailer: [u8; 4] = trailer.try_into().map_err(|_| DrmError::Truncated)?;
+    let stored = u32::from_le_bytes(trailer);
     if crc32(body) != stored {
         return Err(DrmError::BadChecksum);
     }

@@ -32,6 +32,7 @@ pub fn to_json_parts(db: &ConsolidatedDb, jobs: usize) -> Vec<String> {
     if db.records.is_empty() {
         // An empty `records` array collapses to `[]` rather than the
         // multi-line envelope below; the plain streamed form is cheap here.
+        // lint:allow(D7): streaming into a String only fails on fmt::Error, which String's Write never returns
         return vec![to_json(db).expect("database serializes")];
     }
     let n = db.records.len();
@@ -47,18 +48,21 @@ pub fn to_json_parts(db: &ConsolidatedDb, jobs: usize) -> Vec<String> {
             for _ in 0..chunks {
                 scope.spawn(|| loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks {
-                        break;
-                    }
+                    let Some(slot) = slots.get(c) else { break };
                     let lo = c * n / chunks;
                     let hi = (c + 1) * n / chunks;
-                    let frag = records_fragment(&db.records[lo..hi], lo);
-                    *slots[c].lock().expect("export slot poisoned") = Some(frag);
+                    // In range by construction: `c < chunks` implies `hi <= n`.
+                    let Some(chunk) = db.records.get(lo..hi) else { break };
+                    let frag = records_fragment(chunk, lo);
+                    // lint:allow(D7): a poisoned slot means a sibling worker already panicked; scope re-raises it
+                    *slot.lock().expect("export slot poisoned") = Some(frag);
                 });
             }
         });
         for slot in slots {
+            // lint:allow(D7): poisoning or a missing fragment means a worker panicked, which scope already re-raised
             let frag = slot.into_inner().expect("export slot poisoned");
+            // lint:allow(D7): the worker loop fills every slot before the scope joins
             parts.push(frag.expect("every chunk serialized"));
         }
     }
@@ -75,6 +79,7 @@ pub fn to_json_parts(db: &ConsolidatedDb, jobs: usize) -> Vec<String> {
 /// `"records"` array: each element at depth 2, preceded by `,` unless it
 /// is the global first record.
 fn records_fragment(records: &[TestRecord], global_start: usize) -> String {
+    // lint:allow(D8): one output buffer per export flush, not per tick; JsonWriter reuses it across records
     let mut buf = String::new();
     for (k, r) in records.iter().enumerate() {
         if global_start + k > 0 {
@@ -140,6 +145,7 @@ fn write_record_rows<W: Write>(
             k.region.label(),
             k.handovers_in_window,
         )
+        // lint:allow(D7): write! into a String only fails on fmt::Error, which String's Write never returns
         .expect("formatting into a String is infallible");
         w.write_all(row.as_bytes())?;
     }

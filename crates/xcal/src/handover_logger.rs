@@ -82,17 +82,23 @@ impl PassiveLogger {
     pub fn tech_shares(&self) -> [(Technology, f64); 5] {
         let mut meters = [0.0f64; 5];
         for w in self.samples.windows(2) {
-            let d = (w[1].odometer_m - w[0].odometer_m).max(0.0);
+            let (Some(a), Some(b)) = (w.first(), w.get(1)) else {
+                continue;
+            };
+            let d = (b.odometer_m - a.odometer_m).max(0.0);
             let i = Technology::ALL
                 .iter()
-                .position(|&t| t == w[0].tech)
+                .position(|&t| t == a.tech)
+                // lint:allow(D7): Technology::ALL enumerates every variant, so the position always exists
                 .expect("known technology");
-            meters[i] += d;
+            if let Some(m) = meters.get_mut(i) {
+                *m += d;
+            }
         }
         let total: f64 = meters.iter().sum::<f64>().max(1e-9);
         let mut out = [(Technology::Lte, 0.0); 5];
-        for (i, t) in Technology::ALL.iter().enumerate() {
-            out[i] = (*t, meters[i] / total);
+        for (slot, (t, m)) in out.iter_mut().zip(Technology::ALL.iter().zip(&meters)) {
+            *slot = (*t, m / total);
         }
         out
     }
@@ -102,7 +108,11 @@ impl PassiveLogger {
     pub fn cell_changes(&self) -> usize {
         self.samples
             .windows(2)
-            .filter(|w| w[0].cell != w[1].cell)
+            .filter(|w| {
+                w.first()
+                    .zip(w.get(1))
+                    .map_or(false, |(a, b)| a.cell != b.cell)
+            })
             .count()
     }
 
